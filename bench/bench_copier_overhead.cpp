@@ -1,0 +1,120 @@
+// OBJ2 — §5.3: resource overhead of an object replication server relative
+// to a file replication server driving the same network bandwidth.
+//
+// "an object replication server will need more CPU and disk I/O resources
+// ... it needs to process more file system I/O calls and context switches
+// per byte sent over the network."
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "objrep/selection.h"
+#include "testbed/grid.h"
+#include "testbed/workload.h"
+
+int main() {
+  using namespace gdmp;
+  using namespace gdmp::testbed;
+
+  constexpr std::int64_t kEvents = 20'000;
+  std::printf(
+      "OBJ2: source-server resource cost per network byte,\n"
+      "file replication vs object replication (same data volume)\n\n");
+
+  GridConfig config = two_site_config();
+  config.event_count = kEvents;
+  for (auto& spec : config.sites) {
+    spec.site.gdmp.transfer.parallel_streams = 4;
+    spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
+    spec.site.objrep.copier.max_output_file = 8 * kMiB;
+  }
+  Grid grid(config);
+  if (!grid.start().is_ok()) return 1;
+
+  ProductionConfig production;
+  production.tier = objstore::Tier::kAod;
+  production.event_hi = kEvents;
+  auto files = produce_run(grid.site(0), production);
+  grid.site(0).gdmp().publish(files, [](Status) {});
+  grid.run_until(120 * kSecond);
+
+  auto& source_disk = grid.site(0).pool().disk();
+
+  // --- File replication of ~32 MiB (whole range files).
+  const auto disk_before_file = source_disk.stats();
+  std::vector<LogicalFileName> lfns;
+  Bytes file_bytes = 0;
+  for (std::size_t i = 0; i < files.size() && file_bytes < 32 * kMiB; ++i) {
+    lfns.push_back(files[i].lfn);
+    file_bytes += 2000LL * 10 * kKiB;
+  }
+  bool file_done = false;
+  grid.site(1).gdmp().get_files(lfns, [&](Status s, Bytes) {
+    file_done = s.is_ok();
+  });
+  grid.run_until(grid.simulator().now() + 8 * 3600 * kSecond);
+  const auto disk_after_file = source_disk.stats();
+  if (!file_done) {
+    std::printf("file replication failed\n");
+    return 1;
+  }
+  const auto file_ops = disk_after_file.operations - disk_before_file.operations;
+
+  // --- Object replication of the same volume (sparse selection of the
+  // same total size: 32 MiB / 10 KiB = ~3276 objects).
+  bool indexed = false;
+  grid.site(1).objrep().refresh_index_from(
+      "cern", grid.site(0).host().id(), 2000,
+      [&](Status s) { indexed = s.is_ok(); });
+  grid.run_until(grid.simulator().now() + 60 * kSecond);
+  if (!indexed) return 1;
+
+  Rng rng(13);
+  objrep::SelectionConfig selection;
+  selection.fraction =
+      static_cast<double>(file_bytes / (10 * kKiB)) / kEvents;
+  const auto needed = objrep::select_objects(grid.model(), selection, rng);
+
+  const auto disk_before_obj = source_disk.stats();
+  bool object_done = false;
+  Bytes object_bytes = 0;
+  grid.site(1).objrep().replicate_objects(
+      needed,
+      [&](Result<objrep::ObjectReplicationService::Outcome> result) {
+        object_done = result.is_ok();
+        if (result.is_ok()) object_bytes = result->transferred_bytes;
+      });
+  grid.run_until(grid.simulator().now() + 8 * 3600 * kSecond);
+  const auto disk_after_obj = source_disk.stats();
+  if (!object_done) {
+    std::printf("object replication failed\n");
+    return 1;
+  }
+  const auto object_ops =
+      disk_after_obj.operations - disk_before_obj.operations;
+  const auto& copier = grid.site(1).objrep().stats();
+  const auto& copier_cost = grid.site(0).objrep().copier_stats();
+
+  std::printf("%-24s %16s %16s\n", "metric", "file-repl", "object-repl");
+  std::printf("%-24s %16.1f %16.1f\n", "network MiB",
+              static_cast<double>(file_bytes) / (1 << 20),
+              static_cast<double>(object_bytes) / (1 << 20));
+  std::printf("%-24s %16lld %16lld\n", "source disk ops",
+              static_cast<long long>(file_ops),
+              static_cast<long long>(object_ops));
+  std::printf("%-24s %16.2f %16.2f\n", "disk ops / MiB sent",
+              static_cast<double>(file_ops) /
+                  (static_cast<double>(file_bytes) / (1 << 20)),
+              static_cast<double>(object_ops) /
+                  (static_cast<double>(object_bytes) / (1 << 20)));
+  std::printf("%-24s %16s %16.3f\n", "copier CPU seconds", "0",
+              to_seconds(copier_cost.cpu_time));
+  std::printf("%-24s %16s %16lld\n", "objects copied", "-",
+              static_cast<long long>(copier_cost.objects_copied));
+  std::printf("%-24s %16s %16lld\n", "chunks shipped", "-",
+              static_cast<long long>(copier.chunks_received));
+  std::printf(
+      "\npaper reference: object replication costs noticeably more I/O\n"
+      "calls and CPU per byte sent; with adequate disk/CPU it is not a\n"
+      "bottleneck (the copier overlaps the WAN transfer).\n");
+  return 0;
+}

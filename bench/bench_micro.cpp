@@ -1,0 +1,131 @@
+// MICRO — google-benchmark microbenchmarks of the core data structures.
+#include <benchmark/benchmark.h>
+
+#include "catalog/replica_catalog.h"
+#include "common/crc32.h"
+#include "common/random.h"
+#include "net/topology.h"
+#include "net/tcp.h"
+#include "objstore/object_file_catalog.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace gdmp;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::Simulator simulator;
+  Rng rng(1);
+  std::int64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule(static_cast<SimDuration>(rng.uniform_int(1, 1000)),
+                         [&fired] { ++fired; });
+    }
+    simulator.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_Crc32Synthetic(benchmark::State& state) {
+  const Bytes size = state.range(0);
+  std::uint32_t sink = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sink ^= crc32_synthetic(seed++, 0, size);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          size);
+}
+BENCHMARK(BM_Crc32Synthetic)->Arg(1 << 20)->Arg(100 << 20);
+
+void BM_FilterEval(benchmark::State& state) {
+  auto filter =
+      catalog::Filter::parse("(&(objectclass=logicalfile)(size>=1000)"
+                             "(|(tier=aod)(tier=esd))(name=run*.db))");
+  const std::map<std::string, std::set<std::string>> attrs = {
+      {"objectclass", {"logicalfile"}},
+      {"size", {"123456"}},
+      {"tier", {"esd"}},
+      {"name", {"run42.db"}}};
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= filter->matches(attrs);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_FilterEval);
+
+void BM_ReplicaCatalogRegisterLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    catalog::ReplicaCatalog catalog("bench");
+    (void)catalog.create_collection("cms");
+    (void)catalog.create_location("cms", "cern", "gsiftp://cern/pool");
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      catalog::LogicalFileAttributes attrs;
+      attrs.size = i;
+      (void)catalog.register_logical_file("cms",
+                                          "lfn://" + std::to_string(i),
+                                          attrs);
+      (void)catalog.add_replica("cms", "cern", "lfn://" + std::to_string(i));
+    }
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(
+          catalog.lookup("cms", "lfn://" + std::to_string(i)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_ReplicaCatalogRegisterLookup);
+
+void BM_ObjectCatalogLocate(benchmark::State& state) {
+  const auto model = objstore::EventModel::standard(1'000'000);
+  objstore::ObjectFileCatalog catalog;
+  for (std::int64_t lo = 0; lo < 1'000'000; lo += 2000) {
+    (void)catalog.add_range_file("/f" + std::to_string(lo),
+                                 objstore::Tier::kAod, lo, lo + 2000, model);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto id = objstore::make_object_id(
+        objstore::Tier::kAod, rng.uniform_int(0, 999'999));
+    benchmark::DoNotOptimize(catalog.locate(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObjectCatalogLocate);
+
+void BM_TcpSimulatedTransfer(benchmark::State& state) {
+  // Wall-clock cost of simulating a 10 MiB tuned WAN transfer.
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    net::Network network(simulator);
+    auto path = net::make_wan_path(network, "a", "b");
+    net::TcpStack stack_a(simulator, *path.host_a);
+    net::TcpStack stack_b(simulator, *path.host_b);
+    net::TcpConfig config;
+    config.send_buffer = 1 * kMiB;
+    config.recv_buffer = 1 * kMiB;
+    net::TcpConnection::Ptr server;
+    (void)stack_b.listen(5000, config,
+                         [&](net::TcpConnection::Ptr c) { server = c; });
+    auto client = stack_a.connect(path.host_b->id(), 5000, config);
+    client->on_established = [&](const Status&) {
+      client->send_synthetic(10 * kMiB);
+    };
+    simulator.run_until(120 * kSecond);
+    benchmark::DoNotOptimize(client->stats().bytes_acked);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10 * kMiB);
+}
+BENCHMARK(BM_TcpSimulatedTransfer);
+
+}  // namespace

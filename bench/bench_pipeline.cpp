@@ -1,0 +1,80 @@
+// PIPE — §5.2: "Object copying and file transport operations are
+// pipelined to achieve a better response time and greater efficiency."
+//
+// Ablates pipelining (chunk ships as soon as it is packed vs. all chunks
+// packed first) across chunk sizes.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "objrep/selection.h"
+#include "testbed/grid.h"
+#include "testbed/workload.h"
+
+namespace {
+
+using namespace gdmp;
+using namespace gdmp::testbed;
+
+double run_once(bool pipeline, Bytes chunk_size, double fraction) {
+  GridConfig config = two_site_config();
+  config.event_count = 40'000;
+  for (auto& spec : config.sites) {
+    spec.site.gdmp.transfer.parallel_streams = 4;
+    spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
+    spec.site.objrep.pipeline = pipeline;
+    spec.site.objrep.copier.max_output_file = chunk_size;
+    // A slower source disk makes the copy phase comparable to the WAN
+    // phase, which is where pipelining matters.
+    spec.site.disk.seek_latency = 8 * kMillisecond;
+  }
+  Grid grid(config);
+  if (!grid.start().is_ok()) return -1;
+  ProductionConfig production;
+  production.tier = objstore::Tier::kAod;
+  production.event_hi = config.event_count;
+  auto files = produce_run(grid.site(0), production);
+  grid.site(0).gdmp().publish(files, [](Status) {});
+  grid.run_until(grid.simulator().now() + 300 * kSecond);
+  bool indexed = false;
+  grid.site(1).objrep().refresh_index_from(
+      "cern", grid.site(0).host().id(), 2000,
+      [&](Status s) { indexed = s.is_ok(); });
+  grid.run_until(grid.simulator().now() + 60 * kSecond);
+  if (!indexed) return -1;
+
+  Rng rng(21);
+  objrep::SelectionConfig selection;
+  selection.fraction = fraction;
+  const auto needed = objrep::select_objects(grid.model(), selection, rng);
+  double seconds = -1;
+  grid.site(1).objrep().replicate_objects(
+      needed, [&](Result<objrep::ObjectReplicationService::Outcome> result) {
+        if (result.is_ok()) seconds = to_seconds(result->elapsed);
+      });
+  grid.run_until(grid.simulator().now() + 24 * 3600 * kSecond);
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gdmp;
+  std::printf(
+      "PIPE: object replication response time (s), pipelined vs "
+      "sequential\nselection: 0.5%% of 40k events (2000 AOD objects, "
+      "~19.5 MiB)\n\n");
+  std::printf("%-12s %12s %12s %9s\n", "chunk", "pipelined", "sequential",
+              "speedup");
+  for (const Bytes chunk : {2 * kMiB, 4 * kMiB, 8 * kMiB}) {
+    const double with_pipeline = run_once(true, chunk, 5e-2);
+    const double without_pipeline = run_once(false, chunk, 5e-2);
+    std::printf("%-12s %12.1f %12.1f %8.2fx\n",
+                format_bytes(chunk).c_str(), with_pipeline,
+                without_pipeline,
+                with_pipeline > 0 ? without_pipeline / with_pipeline : 0.0);
+  }
+  std::printf(
+      "\npaper reference: overlapping copy and transfer hides the smaller\n"
+      "of the two phases; the gain grows when the phases are balanced.\n");
+  return 0;
+}

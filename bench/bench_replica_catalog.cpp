@@ -1,0 +1,105 @@
+// CAT — §4.2: replica catalog service at scale.
+//
+// Publishes N logical files through the central catalog, then measures
+// lookup and filtered-search latency over the WAN, plus the local
+// LDAP-store operation throughput. Also demonstrates the wrapper's
+// "fewer method calls": one rc.publish vs four raw catalog operations.
+#include <chrono>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "catalog/replica_catalog.h"
+#include "testbed/grid.h"
+
+int main() {
+  using namespace gdmp;
+  using namespace gdmp::testbed;
+
+  std::printf("CAT: replica catalog service scaling\n\n");
+  std::printf("%-10s %14s %14s %14s\n", "files", "publish[s]", "lookup[ms]",
+              "search[ms]");
+
+  for (const int count : {100, 1000, 10000}) {
+    GridConfig config = two_site_config();
+    config.event_count = 1000;
+    Grid grid(config);
+    if (!grid.start().is_ok()) return 1;
+    Site& producer = grid.site(0);
+
+    // Publish `count` flat files in batches.
+    const SimTime publish_start = grid.simulator().now();
+    SimTime publish_end = publish_start;
+    int published = 0;
+    for (int i = 0; i < count; ++i) {
+      core::PublishedFile file;
+      file.lfn = "lfn://cms/flat/" + std::to_string(i);
+      (void)producer.pool().add_file("/pool/" + file.lfn, 1 * kMiB + i, i, 0);
+      file.extra["runidx"] = std::to_string(i % 10);
+      producer.gdmp().publish({file}, [&](Status s) {
+        if (s.is_ok()) ++published;
+        publish_end = grid.simulator().now();
+      });
+    }
+    grid.run_until(grid.simulator().now() + 4 * 3600 * kSecond);
+    const double publish_seconds = to_seconds(publish_end - publish_start);
+    if (published != count) {
+      std::printf("publish failed: %d/%d\n", published, count);
+      return 1;
+    }
+
+    // Lookup latency from the consumer site.
+    const SimTime lookup_start = grid.simulator().now();
+    double lookup_ms = -1;
+    grid.site(1).gdmp_server().catalog().lookup(
+        "cms", "lfn://cms/flat/" + std::to_string(count / 2),
+        [&](Result<core::ReplicaInfo> info) {
+          if (info.is_ok()) {
+            lookup_ms =
+                to_seconds(grid.simulator().now() - lookup_start) * 1e3;
+          }
+        });
+    grid.run_until(grid.simulator().now() + 600 * kSecond);
+
+    // Filtered search: ~10% of entries match.
+    const SimTime search_start = grid.simulator().now();
+    double search_ms = -1;
+    std::size_t matches = 0;
+    grid.site(1).gdmp_server().catalog().search(
+        "cms", "(runidx=3)",
+        [&](Result<std::vector<core::ReplicaInfo>> result) {
+          if (result.is_ok()) {
+            matches = result->size();
+            search_ms =
+                to_seconds(grid.simulator().now() - search_start) * 1e3;
+          }
+        });
+    grid.run_until(grid.simulator().now() + 600 * kSecond);
+    std::printf("%-10d %14.1f %14.2f %14.2f  (matches=%zu)\n", count,
+                publish_seconds, lookup_ms, search_ms, matches);
+  }
+
+  // Wrapper vs raw call count, on the in-process catalog object.
+  std::printf("\nwrapper economy (local catalog, wall-clock):\n");
+  {
+    using clock = std::chrono::steady_clock;
+    catalog::ReplicaCatalog catalog("bench");
+    (void)catalog.create_collection("cms");
+    (void)catalog.create_location("cms", "cern", "gsiftp://cern/pool");
+    const auto t0 = clock::now();
+    constexpr int kOps = 20000;
+    for (int i = 0; i < kOps; ++i) {
+      catalog::LogicalFileAttributes attrs;
+      attrs.size = i;
+      (void)catalog.register_logical_file(
+          "cms", "lfn://bench/" + std::to_string(i), attrs);
+      (void)catalog.add_replica("cms", "cern",
+                                "lfn://bench/" + std::to_string(i));
+    }
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    std::printf("  %d register+add_replica pairs in %.3f s (%.0f ops/s)\n",
+                kOps, seconds, 2 * kOps / seconds);
+    std::printf("  LDAP entries: %zu\n", catalog.store().entry_count());
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// STAGE — §4.4: MSS staging behaviour during replication.
+//
+// Measures replication latency when the source file is (a) warm in the
+// disk pool, (b) cold on tape behind the HRM plug-in, (c) cold behind the
+// legacy staging-script plug-in, and reports queueing when many cold
+// requests contend for few tape drives.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "testbed/grid.h"
+#include "testbed/workload.h"
+
+namespace {
+
+using namespace gdmp;
+using namespace gdmp::testbed;
+
+double replicate_once(Grid& grid, const LogicalFileName& lfn) {
+  double seconds = -1;
+  const SimTime start = grid.simulator().now();
+  grid.site(1).gdmp().get_file(
+      lfn, [&](Result<gridftp::TransferResult> result) {
+        if (result.is_ok()) {
+          seconds = to_seconds(grid.simulator().now() - start);
+        }
+      });
+  grid.run_until(grid.simulator().now() + 4 * 3600 * kSecond);
+  return seconds;
+}
+
+double run_scenario(bool script_stager, bool evict, int* stages_out) {
+  GridConfig config = two_site_config();
+  config.event_count = 10'000;
+  config.sites[0].site.has_mss = true;
+  config.sites[0].site.use_script_stager = script_stager;
+  for (auto& spec : config.sites) {
+    spec.site.gdmp.transfer.parallel_streams = 4;
+    spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
+  }
+  Grid grid(config);
+  if (!grid.start().is_ok()) return -1;
+  ProductionConfig production;
+  production.tier = objstore::Tier::kAod;
+  production.event_hi = 2000;
+  production.archive_to_mss = true;
+  auto files = produce_run(grid.site(0), production);
+  grid.site(0).gdmp().publish(files, [](Status) {});
+  grid.run_until(grid.simulator().now() + 600 * kSecond);
+  if (evict) {
+    (void)grid.site(0).pool().remove(files[0].local_path);
+  }
+  const double seconds = replicate_once(grid, files[0].lfn);
+  if (stages_out != nullptr) {
+    *stages_out = static_cast<int>(grid.site(0).mss()->stats().stages);
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("STAGE: replication latency of one 19.5 MiB file (s)\n\n");
+  int stages = 0;
+  const double warm = run_scenario(false, false, nullptr);
+  std::printf("%-38s %8.1f\n", "warm (on disk pool)", warm);
+  const double cold_hrm = run_scenario(false, true, &stages);
+  std::printf("%-38s %8.1f  (stages=%d)\n", "cold via HRM plug-in", cold_hrm,
+              stages);
+  const double cold_script = run_scenario(true, true, nullptr);
+  std::printf("%-38s %8.1f\n", "cold via staging-script plug-in",
+              cold_script);
+
+  // Drive contention: many cold files, few drives.
+  std::printf("\ndrive contention (8 cold files, 2 tape drives):\n");
+  GridConfig config = two_site_config();
+  config.event_count = 20'000;
+  config.sites[0].site.has_mss = true;
+  for (auto& spec : config.sites) {
+    spec.site.gdmp.transfer.parallel_streams = 4;
+    spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
+    spec.site.gdmp.max_concurrent_transfers = 8;
+  }
+  Grid grid(config);
+  if (!grid.start().is_ok()) return 1;
+  ProductionConfig production;
+  production.tier = objstore::Tier::kAod;
+  production.event_hi = 16'000;
+  production.archive_to_mss = true;
+  auto files = produce_run(grid.site(0), production);
+  grid.site(0).gdmp().publish(files, [](Status) {});
+  grid.run_until(grid.simulator().now() + 3600 * kSecond);
+  for (const auto& file : files) {
+    (void)grid.site(0).pool().remove(file.local_path);
+  }
+  std::vector<LogicalFileName> lfns;
+  for (const auto& file : files) lfns.push_back(file.lfn);
+  const SimTime start = grid.simulator().now();
+  double total_seconds = -1;
+  grid.site(1).gdmp().get_files(lfns, [&](Status s, Bytes) {
+    if (s.is_ok()) total_seconds = to_seconds(grid.simulator().now() - start);
+  });
+  grid.run_until(grid.simulator().now() + 24 * 3600 * kSecond);
+  const auto& mss = grid.site(0).mss()->stats();
+  std::printf("  %zu files replicated in %.1f s\n", lfns.size(),
+              total_seconds);
+  std::printf("  stages=%lld  mean tape queue wait=%.1f s\n",
+              static_cast<long long>(mss.stages),
+              mss.stages > 0
+                  ? to_seconds(mss.total_queue_wait) /
+                        static_cast<double>(mss.stages)
+                  : 0.0);
+  return 0;
+}

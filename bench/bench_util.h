@@ -1,0 +1,118 @@
+// Shared harness for the GridFTP WAN measurements (§6).
+//
+// Reproduces the paper's test setup: a 45 Mbit/s CERN–ANL path with 125 ms
+// RTT shared with production cross-traffic, a GSI-enabled GridFTP server
+// at CERN, and the extended_get test client at ANL sweeping parallel
+// streams and TCP buffer sizes.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridftp/client.h"
+#include "gridftp/server.h"
+#include "net/cross_traffic.h"
+#include "net/topology.h"
+#include "storage/disk.h"
+#include "storage/disk_pool.h"
+
+namespace gdmp::bench {
+
+struct WanBenchConfig {
+  BitsPerSec wan_bandwidth = 45 * kMbps;
+  SimDuration one_way_delay = 62 * kMillisecond + 500 * kMicrosecond;
+  Bytes wan_queue = 2816 * kKiB;
+  /// Production cross-traffic sharing the link (each direction).
+  BitsPerSec cross_traffic = 18 * kMbps;
+  std::uint64_t seed = 1;
+};
+
+struct TransferSample {
+  double mbps = 0;
+  double seconds = 0;
+  int attempts = 0;
+  std::int64_t retransmits = 0;
+  bool ok = false;
+};
+
+/// Runs one extended_get: transfers `file_size` with the given stream
+/// count and buffer, returns the achieved rate.
+inline TransferSample run_wan_get(const WanBenchConfig& bench_config,
+                                  Bytes file_size, int streams,
+                                  Bytes tcp_buffer) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  net::WanConfig wan;
+  wan.wan_bandwidth = bench_config.wan_bandwidth;
+  wan.wan_one_way_delay = bench_config.one_way_delay;
+  wan.wan_queue = bench_config.wan_queue;
+  auto path = net::make_wan_path(network, "cern", "anl", wan);
+
+  net::TcpStack server_stack(simulator, *path.host_a);
+  net::TcpStack client_stack(simulator, *path.host_b);
+
+  std::unique_ptr<net::DatagramSink> sink;
+  std::unique_ptr<net::CbrSource> cbr_up, cbr_down;
+  if (bench_config.cross_traffic > 0) {
+    net::CbrConfig cbr;
+    cbr.rate = bench_config.cross_traffic;
+    sink = std::make_unique<net::DatagramSink>(*path.host_b);
+    cbr_up = std::make_unique<net::CbrSource>(network, *path.host_a,
+                                              *path.host_b, cbr,
+                                              bench_config.seed * 31 + 1);
+    cbr_down = std::make_unique<net::CbrSource>(network, *path.host_b,
+                                                *path.host_a, cbr,
+                                                bench_config.seed * 31 + 2);
+    cbr_up->start();
+    cbr_down->start();
+  }
+
+  security::CertificateAuthority ca("BenchCA");
+  constexpr SimDuration kYear = 365LL * 24 * 3600 * kSecond;
+  storage::Disk server_disk(simulator, storage::DiskConfig{});
+  storage::DiskPool server_pool(100 * kGiB, server_disk);
+  (void)server_pool.add_file("/pool/testfile", file_size,
+                             0x7e57 ^ bench_config.seed, 0);
+
+  gridftp::FtpServer server(server_stack, server_pool, ca,
+                            ca.issue("/CN=cern-gridftp", kYear));
+  if (!server.start().is_ok()) return {};
+
+  gridftp::FtpClient client(client_stack, ca,
+                            ca.issue("/CN=anl-client", kYear));
+  gridftp::TransferOptions options;
+  options.parallel_streams = streams;
+  options.tcp_buffer = tcp_buffer;
+
+  TransferSample sample;
+  // Let the cross traffic reach steady state before measuring.
+  simulator.run_until(2 * kSecond);
+  client.get(path.host_a->id(), gridftp::kControlPort, "/pool/testfile",
+             "/discard", /*pool=*/nullptr, options,
+             [&](Result<gridftp::TransferResult> result) {
+               if (result.is_ok()) {
+                 sample.ok = true;
+                 sample.mbps = result->mbps;
+                 sample.seconds = to_seconds(result->elapsed);
+                 sample.attempts = result->attempts;
+                 sample.retransmits = result->retransmitted_segments;
+               }
+               // Stop simulating once the measurement is in; the CBR
+               // sources would otherwise churn events forever.
+               simulator.request_stop();
+             });
+  simulator.run_until(4 * 3600 * kSecond);
+  return sample;
+}
+
+inline void print_series_header(const char* title,
+                                const std::vector<int>& stream_counts) {
+  std::printf("%s\n", title);
+  std::printf("%-10s", "file");
+  for (const int n : stream_counts) std::printf(" %7d", n);
+  std::printf("  (streams)\n");
+}
+
+}  // namespace gdmp::bench

@@ -1,0 +1,129 @@
+// HEP analysis scenario (§5.1): the multi-step funnel.
+//
+// A physicist starts from the full event sample at a remote production
+// site and narrows it down in steps, each needing larger objects for fewer
+// events. Early steps use file replication of the small tag tier; later
+// steps use *object replication* because no existing file holds mostly
+// selected objects.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "objrep/selection.h"
+#include "testbed/grid.h"
+#include "testbed/workload.h"
+
+int main() {
+  using namespace gdmp;
+  using namespace gdmp::testbed;
+
+  GridConfig config = two_site_config("cern", "caltech");
+  config.event_count = 50'000;
+  for (auto& spec : config.sites) {
+    spec.site.gdmp.transfer.parallel_streams = 4;
+    spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
+    spec.site.objrep.copier.max_output_file = 16 * kMiB;
+  }
+  Grid grid(config);
+  if (!grid.start().is_ok()) return 1;
+  Site& cern = grid.site(0);
+  Site& caltech = grid.site(1);
+
+  // CERN holds tag + AOD + ESD tiers of the full sample.
+  std::printf("producing tag/AOD/ESD tiers for %lld events at cern...\n",
+              static_cast<long long>(config.event_count));
+  std::vector<core::PublishedFile> all_files;
+  for (const auto tier :
+       {objstore::Tier::kTag, objstore::Tier::kAod, objstore::Tier::kEsd}) {
+    ProductionConfig production;
+    production.tier = tier;
+    production.event_hi = config.event_count;
+    production.run_name = "sample";
+    auto files = produce_run(cern, production);
+    all_files.insert(all_files.end(), files.begin(), files.end());
+  }
+  cern.gdmp().publish(all_files, [](Status s) {
+    std::printf("publish: %s (%zu files)\n", s.to_string().c_str(),
+                std::size_t{0});
+  });
+  grid.run_until(grid.simulator().now() + 300 * kSecond);
+
+  // Step 1: replicate the whole *tag* tier by file replication (it is tiny
+  // and every event is needed) and scan it locally.
+  std::printf("\nstep 1: file-replicate the tag tier (every event needed)\n");
+  std::vector<LogicalFileName> tag_lfns;
+  for (const auto& file : all_files) {
+    if (file.lfn.find("/tag/") != std::string::npos) {
+      tag_lfns.push_back(file.lfn);
+    }
+  }
+  SimTime t0 = grid.simulator().now();
+  caltech.gdmp().get_files(tag_lfns, [&](Status s, Bytes bytes) {
+    std::printf("  %s: %s in %.1f s\n", s.to_string().c_str(),
+                format_bytes(bytes).c_str(),
+                to_seconds(grid.simulator().now() - t0));
+  });
+  grid.run_until(grid.simulator().now() + 3600 * kSecond);
+
+  // Steps 2-3: the funnel selects ~2% of events needing AOD, then ~0.2%
+  // needing ESD. Object replication ships just those objects.
+  Rng rng(2026);
+  const auto funnel = objrep::analysis_funnel(
+      grid.model(),
+      {{0.02, objstore::Tier::kAod}, {0.1, objstore::Tier::kEsd}}, rng);
+
+  bool indexed = false;
+  caltech.objrep().refresh_index_from("cern", cern.host().id(), 2000,
+                                      [&](Status s) { indexed = s.is_ok(); });
+  grid.run_until(grid.simulator().now() + 30 * kSecond);
+  if (!indexed) return 1;
+
+  const char* step_names[] = {"step 2 (AOD for 2% of events)",
+                              "step 3 (ESD for the final survivors)"};
+  for (std::size_t step = 0; step < funnel.size(); ++step) {
+    const auto& needed = funnel[step];
+    const auto cover = objrep::files_covering(
+        cern.federation()->catalog(), grid.model(), needed);
+    std::printf("\n%s: %zu objects (%s payload)\n", step_names[step],
+                needed.size(),
+                format_bytes(objrep::selection_bytes(grid.model(), needed))
+                    .c_str());
+    std::printf("  file replication would move %s across %zu files\n",
+                format_bytes(cover.total_bytes).c_str(), cover.files.size());
+    bool done = false;
+    caltech.objrep().replicate_objects(
+        needed,
+        [&](Result<objrep::ObjectReplicationService::Outcome> result) {
+          done = true;
+          if (!result.is_ok()) {
+            std::printf("  object replication failed: %s\n",
+                        result.status().to_string().c_str());
+            return;
+          }
+          std::printf(
+              "  object replication moved %s in %.1f s (%d chunks)\n",
+              format_bytes(result->transferred_bytes).c_str(),
+              to_seconds(result->elapsed), result->chunks);
+        });
+    grid.run_until(grid.simulator().now() + 8 * 3600 * kSecond);
+    if (!done) return 1;
+  }
+
+  // The physicist's analysis job now navigates tag -> AOD -> ESD locally
+  // for a surviving event.
+  if (!funnel.back().empty()) {
+    const std::int64_t event = objstore::event_of(funnel.back().front());
+    std::printf("\nnavigating tiers of surviving event %lld at caltech:\n",
+                static_cast<long long>(event));
+    for (const auto tier : {objstore::Tier::kAod, objstore::Tier::kEsd}) {
+      Bytes read = 0;
+      caltech.persistency()->navigate(
+          objstore::make_object_id(objstore::Tier::kTag, event), tier,
+          [&](Result<Bytes> r) { read = r.value_or(0); });
+      grid.run_until(grid.simulator().now() + kSecond);
+      std::printf("  %s object: %lld bytes %s\n", objstore::tier_name(tier),
+                  static_cast<long long>(read),
+                  read > 0 ? "(local)" : "(NOT LOCAL - funnel bug!)");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Multi-site production (Figure 3): CERN produces, Caltech and SLAC are
+// subscribed regional centres with auto-replication, MSS archival at the
+// producer, and failure recovery via the remote file catalog.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "testbed/grid.h"
+#include "testbed/workload.h"
+
+int main() {
+  using namespace gdmp;
+  using namespace gdmp::testbed;
+
+  GridConfig config;
+  config.event_count = 30'000;
+  for (const char* name : {"cern", "caltech", "slac"}) {
+    GridSiteSpec spec;
+    spec.name = name;
+    spec.wan.wan_one_way_delay = 31 * kMillisecond;
+    spec.cross_traffic = 8 * kMbps;  // shared production links
+    spec.site.gdmp.transfer.parallel_streams = 4;
+    spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
+    config.sites.push_back(spec);
+  }
+  config.sites[0].site.has_mss = true;  // tape archive at CERN
+  config.sites[0].site.gdmp.auto_archive_published = true;
+  config.sites[1].site.gdmp.auto_replicate_on_notify = true;
+  config.sites[2].site.gdmp.auto_replicate_on_notify = true;
+
+  Grid grid(config);
+  if (!grid.start().is_ok()) return 1;
+  Site& cern = grid.site(0);
+
+  // Regional centres subscribe.
+  for (std::size_t i : {1u, 2u}) {
+    grid.site(i).gdmp().subscribe(
+        cern.host().id(), 2000, [&grid, i](Status s) {
+          std::printf("%s subscribed: %s\n", grid.site(i).name().c_str(),
+                      s.to_string().c_str());
+        });
+  }
+  grid.run_until(grid.simulator().now() + 30 * kSecond);
+
+  // CERN runs three production cycles; each publishes AOD files which the
+  // subscribers replicate automatically as the notifications arrive.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ProductionConfig production;
+    production.tier = objstore::Tier::kAod;
+    production.event_lo = cycle * 10'000;
+    production.event_hi = (cycle + 1) * 10'000;
+    production.run_name = "cycle" + std::to_string(cycle);
+    auto files = produce_run(cern, production);
+    std::printf("\ncycle %d: produced %zu files, publishing...\n", cycle,
+                files.size());
+    cern.gdmp().publish(files, [cycle](Status s) {
+      std::printf("cycle %d publish: %s\n", cycle, s.to_string().c_str());
+    });
+    grid.run_until(grid.simulator().now() + 3600 * kSecond);
+  }
+  // Let the auto-replications drain.
+  grid.run_until(grid.simulator().now() + 4 * 3600 * kSecond);
+
+  for (std::size_t i : {1u, 2u}) {
+    const auto& stats = grid.site(i).gdmp_server().stats();
+    std::printf("%s: notified=%lld replicated=%lld failures=%lld\n",
+                grid.site(i).name().c_str(),
+                static_cast<long long>(stats.notifications_received),
+                static_cast<long long>(stats.files_replicated),
+                static_cast<long long>(stats.replication_failures));
+  }
+  std::printf("cern MSS: archived files=%zu\n",
+              cern.mss() ? cern.mss()->archived_count() : 0);
+
+  // Failure recovery: SLAC "loses" two replicas (disk incident), discovers
+  // them via CERN's export catalog and re-replicates.
+  Site& slac = grid.site(2);
+  std::printf("\nsimulating disk incident at slac: dropping 2 replicas\n");
+  int dropped = 0;
+  for (const auto& [lfn, file] : slac.gdmp_server().export_catalog()) {
+    if (dropped == 2) break;
+    if (slac.pool().contains(file.local_path)) {
+      if (slac.federation()->is_attached(file.local_path)) {
+        (void)slac.federation()->detach(file.local_path);
+      }
+      (void)slac.pool().remove(file.local_path);
+      ++dropped;
+    }
+  }
+  slac.gdmp().missing_from(
+      cern.host().id(), 2000,
+      [&](Result<std::vector<core::PublishedFile>> missing) {
+        if (!missing.is_ok()) return;
+        std::printf("recovery scan: %zu files missing at slac\n",
+                    missing->size());
+        std::vector<LogicalFileName> lfns;
+        for (const auto& file : *missing) lfns.push_back(file.lfn);
+        slac.gdmp().get_files(lfns, [](Status s, Bytes bytes) {
+          std::printf("recovery replication: %s (%s)\n",
+                      s.to_string().c_str(), format_bytes(bytes).c_str());
+        });
+      });
+  grid.run_until(grid.simulator().now() + 4 * 3600 * kSecond);
+
+  std::printf("\nfinal state: slac holds %zu files, %s on disk\n",
+              slac.gdmp_server().export_catalog().size(),
+              format_bytes(slac.pool().used_bytes()).c_str());
+  return 0;
+}

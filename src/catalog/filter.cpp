@@ -1,0 +1,200 @@
+#include "catalog/filter.h"
+
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace gdmp::catalog {
+namespace {
+
+bool numeric_compare(const std::string& lhs, const std::string& rhs,
+                     bool greater_eq) {
+  double a = 0, b = 0;
+  const auto ra = std::from_chars(lhs.data(), lhs.data() + lhs.size(), a);
+  const auto rb = std::from_chars(rhs.data(), rhs.data() + rhs.size(), b);
+  if (ra.ec != std::errc{} || rb.ec != std::errc{}) {
+    // Fall back to lexicographic comparison for non-numeric values.
+    return greater_eq ? lhs >= rhs : lhs <= rhs;
+  }
+  return greater_eq ? a >= b : a <= b;
+}
+
+void skip_spaces(std::string_view text, std::size_t& pos) {
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+}
+
+}  // namespace
+
+Result<Filter> Filter::parse(std::string_view text) {
+  std::size_t pos = 0;
+  skip_spaces(text, pos);
+  if (pos == text.size()) return Filter();  // empty = match all
+  auto root = parse_node(text, pos);
+  if (!root.is_ok()) return root.status();
+  skip_spaces(text, pos);
+  if (pos != text.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "trailing characters in filter: " + std::string(text));
+  }
+  return Filter(std::move(root.value()));
+}
+
+Filter Filter::equals(std::string attr, std::string pattern) {
+  auto node = std::make_shared<Node>();
+  node->op = pattern == "*" ? Op::kPresent : Op::kEquals;
+  node->attribute = std::move(attr);
+  node->value = std::move(pattern);
+  return Filter(std::move(node));
+}
+
+Result<Filter::NodePtr> Filter::parse_node(std::string_view text,
+                                           std::size_t& pos) {
+  skip_spaces(text, pos);
+  if (pos >= text.size() || text[pos] != '(') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "expected '(' at position " + std::to_string(pos));
+  }
+  ++pos;  // consume '('
+  skip_spaces(text, pos);
+  if (pos >= text.size()) {
+    return make_error(ErrorCode::kInvalidArgument, "unterminated filter");
+  }
+
+  auto node = std::make_shared<Node>();
+  const char c = text[pos];
+  if (c == '&' || c == '|' || c == '!') {
+    node->op = c == '&' ? Op::kAnd : (c == '|' ? Op::kOr : Op::kNot);
+    ++pos;
+    skip_spaces(text, pos);
+    while (pos < text.size() && text[pos] == '(') {
+      auto child = parse_node(text, pos);
+      if (!child.is_ok()) return child.status();
+      node->children.push_back(std::move(child.value()));
+      skip_spaces(text, pos);
+    }
+    if (node->children.empty()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "empty composite filter");
+    }
+    if (node->op == Op::kNot && node->children.size() != 1) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "'!' takes exactly one operand");
+    }
+  } else {
+    // Leaf: attr OP value, OP in { '=', '>=', '<=' }.
+    const auto close = text.find(')', pos);
+    if (close == std::string_view::npos) {
+      return make_error(ErrorCode::kInvalidArgument, "missing ')'");
+    }
+    const std::string_view body = text.substr(pos, close - pos);
+    std::size_t op_pos;
+    if ((op_pos = body.find(">=")) != std::string_view::npos) {
+      node->op = Op::kGreaterEq;
+      node->attribute = std::string(body.substr(0, op_pos));
+      node->value = std::string(body.substr(op_pos + 2));
+    } else if ((op_pos = body.find("<=")) != std::string_view::npos) {
+      node->op = Op::kLessEq;
+      node->attribute = std::string(body.substr(0, op_pos));
+      node->value = std::string(body.substr(op_pos + 2));
+    } else if ((op_pos = body.find('=')) != std::string_view::npos) {
+      node->attribute = std::string(body.substr(0, op_pos));
+      node->value = std::string(body.substr(op_pos + 1));
+      node->op = node->value == "*" ? Op::kPresent : Op::kEquals;
+    } else {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "no operator in filter term: " + std::string(body));
+    }
+    if (node->attribute.empty()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "empty attribute in filter term");
+    }
+    pos = close;
+  }
+  skip_spaces(text, pos);
+  if (pos >= text.size() || text[pos] != ')') {
+    return make_error(ErrorCode::kInvalidArgument, "missing closing ')'");
+  }
+  ++pos;  // consume ')'
+  return NodePtr(std::move(node));
+}
+
+bool Filter::matches(
+    const std::map<std::string, std::set<std::string>>& attributes) const {
+  return root_ == nullptr || eval(*root_, attributes);
+}
+
+bool Filter::eval(
+    const Node& node,
+    const std::map<std::string, std::set<std::string>>& attributes) {
+  switch (node.op) {
+    case Op::kAnd:
+      for (const auto& child : node.children) {
+        if (!eval(*child, attributes)) return false;
+      }
+      return true;
+    case Op::kOr:
+      for (const auto& child : node.children) {
+        if (eval(*child, attributes)) return true;
+      }
+      return false;
+    case Op::kNot:
+      return !eval(*node.children.front(), attributes);
+    case Op::kPresent:
+      return attributes.contains(node.attribute);
+    case Op::kEquals: {
+      const auto it = attributes.find(node.attribute);
+      if (it == attributes.end()) return false;
+      for (const std::string& value : it->second) {
+        if (wildcard_match(node.value, value)) return true;
+      }
+      return false;
+    }
+    case Op::kGreaterEq:
+    case Op::kLessEq: {
+      const auto it = attributes.find(node.attribute);
+      if (it == attributes.end()) return false;
+      for (const std::string& value : it->second) {
+        if (numeric_compare(value, node.value,
+                            node.op == Op::kGreaterEq)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string Filter::to_string() const {
+  if (!root_) return "(*)";
+  std::string out;
+  print(*root_, out);
+  return out;
+}
+
+void Filter::print(const Node& node, std::string& out) {
+  out += '(';
+  switch (node.op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kNot:
+      out += node.op == Op::kAnd ? '&' : (node.op == Op::kOr ? '|' : '!');
+      for (const auto& child : node.children) print(*child, out);
+      break;
+    case Op::kPresent:
+      out += node.attribute + "=*";
+      break;
+    case Op::kEquals:
+      out += node.attribute + "=" + node.value;
+      break;
+    case Op::kGreaterEq:
+      out += node.attribute + ">=" + node.value;
+      break;
+    case Op::kLessEq:
+      out += node.attribute + "<=" + node.value;
+      break;
+  }
+  out += ')';
+}
+
+}  // namespace gdmp::catalog

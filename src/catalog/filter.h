@@ -1,0 +1,62 @@
+// LDAP search filters: "(&(objectclass=logicalfile)(size>=1000)(name=run*))".
+//
+// Supported: conjunction (&...), disjunction (|...), negation (!...),
+// equality with '*' wildcards, presence (attr=*), and numeric >= / <=
+// comparisons. GDMP exposes these to users so they can "specify filters to
+// obtain the exact information that they require" (§4.2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gdmp::catalog {
+
+class Filter {
+ public:
+  /// Matches everything.
+  Filter() = default;
+
+  /// Parses an LDAP filter string.
+  static Result<Filter> parse(std::string_view text);
+
+  /// Convenience: exact/wildcard equality filter.
+  static Filter equals(std::string attr, std::string pattern);
+
+  bool matches(
+      const std::map<std::string, std::set<std::string>>& attributes) const;
+
+  bool is_match_all() const noexcept { return root_ == nullptr; }
+
+  std::string to_string() const;
+
+ private:
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  enum class Op { kAnd, kOr, kNot, kEquals, kPresent, kGreaterEq, kLessEq };
+
+  struct Node {
+    Op op;
+    std::string attribute;            // leaf ops
+    std::string value;                // leaf ops (pattern for kEquals)
+    std::vector<NodePtr> children;    // kAnd / kOr / kNot
+  };
+
+  static Result<NodePtr> parse_node(std::string_view text, std::size_t& pos);
+  static bool eval(
+      const Node& node,
+      const std::map<std::string, std::set<std::string>>& attributes);
+  static void print(const Node& node, std::string& out);
+
+  explicit Filter(NodePtr root) : root_(std::move(root)) {}
+
+  NodePtr root_;
+};
+
+}  // namespace gdmp::catalog

@@ -1,0 +1,80 @@
+// LDAP-style hierarchical directory store.
+//
+// "The current Globus Replica Catalog implementation uses the LDAP
+// protocol to interface with the database backend" (§4.2). This is that
+// backend: a directory information tree of entries with multi-valued
+// attributes, base/one-level/subtree search with filters, and the usual
+// add/modify/delete semantics (parents must exist, only leaves can be
+// deleted). The replica catalog object model sits entirely on top.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "catalog/filter.h"
+
+namespace gdmp::catalog {
+
+/// A distinguished name is a '/'-separated path from the root, e.g.
+/// "rc=cms/lc=run42/lf=db.17". Each component is an RDN.
+using Dn = std::string;
+
+struct LdapEntry {
+  Dn dn;
+  // Multi-valued attributes, sorted for deterministic output.
+  std::map<std::string, std::set<std::string>> attributes;
+
+  bool has_value(std::string_view attr, std::string_view value) const;
+  /// First value of an attribute, or "" when absent.
+  std::string first(std::string_view attr) const;
+};
+
+enum class SearchScope { kBase, kOneLevel, kSubtree };
+
+class LdapStore {
+ public:
+  LdapStore();
+
+  /// Adds an entry; its parent must exist and the DN must be free.
+  Status add(const Dn& dn,
+             std::map<std::string, std::set<std::string>> attributes);
+
+  /// Deletes a leaf entry.
+  Status remove(const Dn& dn);
+
+  /// Adds a value to a (possibly new) attribute.
+  Status add_value(const Dn& dn, const std::string& attr,
+                   const std::string& value);
+
+  /// Removes a value; kNotFound if the entry, attribute or value is absent.
+  Status remove_value(const Dn& dn, const std::string& attr,
+                      const std::string& value);
+
+  Result<LdapEntry> get(const Dn& dn) const;
+  bool exists(const Dn& dn) const noexcept;
+
+  /// LDAP search: entries under `base` within `scope` matching `filter`.
+  Result<std::vector<LdapEntry>> search(const Dn& base, SearchScope scope,
+                                        const Filter& filter) const;
+
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+
+  /// Cheap write-generation counter; the central catalog service uses it
+  /// for change polling.
+  std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  static Dn parent_of(const Dn& dn);
+
+  // Ordered by DN so that a subtree is a contiguous range.
+  std::map<Dn, LdapEntry> entries_;
+  std::map<Dn, std::set<Dn>> children_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace gdmp::catalog

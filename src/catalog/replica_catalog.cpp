@@ -1,0 +1,291 @@
+#include "catalog/replica_catalog.h"
+
+#include <charconv>
+
+namespace gdmp::catalog {
+namespace {
+
+constexpr std::string_view kClassCollection = "collection";
+constexpr std::string_view kClassLocation = "location";
+constexpr std::string_view kClassLogicalFile = "logicalfile";
+
+std::string to_decimal(std::uint64_t v) { return std::to_string(v); }
+
+std::uint64_t from_decimal(const std::string& s) noexcept {
+  std::uint64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+}  // namespace
+
+std::string encode_rdn(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '/') {
+      out += "%2F";
+    } else if (c == '%') {
+      out += "%25";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string decode_rdn(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '%' && i + 2 < value.size()) {
+      if (value.substr(i, 3) == "%2F") {
+        out += '/';
+        i += 2;
+        continue;
+      }
+      if (value.substr(i, 3) == "%25") {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += value[i];
+  }
+  return out;
+}
+
+ReplicaCatalog::ReplicaCatalog(std::string root_name)
+    : root_("rc=" + encode_rdn(root_name)) {
+  std::map<std::string, std::set<std::string>> attrs;
+  attrs["objectclass"].insert("replicacatalog");
+  (void)store_.add(root_, std::move(attrs));
+}
+
+Dn ReplicaCatalog::collection_dn(const std::string& collection) const {
+  return root_ + "/lc=" + encode_rdn(collection);
+}
+
+Dn ReplicaCatalog::location_dn(const std::string& collection,
+                               const std::string& location) const {
+  return collection_dn(collection) + "/loc=" + encode_rdn(location);
+}
+
+Dn ReplicaCatalog::logical_file_dn(const std::string& collection,
+                                   const LogicalFileName& lfn) const {
+  return collection_dn(collection) + "/lf=" + encode_rdn(lfn);
+}
+
+Status ReplicaCatalog::create_collection(const std::string& collection) {
+  std::map<std::string, std::set<std::string>> attrs;
+  attrs["objectclass"].insert(std::string(kClassCollection));
+  attrs["name"].insert(collection);
+  return store_.add(collection_dn(collection), std::move(attrs));
+}
+
+Status ReplicaCatalog::delete_collection(const std::string& collection) {
+  return store_.remove(collection_dn(collection));
+}
+
+bool ReplicaCatalog::collection_exists(const std::string& collection) const {
+  return store_.exists(collection_dn(collection));
+}
+
+Result<std::vector<std::string>> ReplicaCatalog::list_collections() const {
+  auto entries = store_.search(root_, SearchScope::kOneLevel,
+                               Filter::equals("objectclass",
+                                              std::string(kClassCollection)));
+  if (!entries.is_ok()) return entries.status();
+  std::vector<std::string> out;
+  out.reserve(entries->size());
+  for (const LdapEntry& entry : *entries) out.push_back(entry.first("name"));
+  return out;
+}
+
+Status ReplicaCatalog::create_location(const std::string& collection,
+                                       const std::string& location,
+                                       const std::string& url_prefix) {
+  if (!collection_exists(collection)) {
+    return make_error(ErrorCode::kNotFound,
+                      "no such collection: " + collection);
+  }
+  std::map<std::string, std::set<std::string>> attrs;
+  attrs["objectclass"].insert(std::string(kClassLocation));
+  attrs["name"].insert(location);
+  attrs["urlprefix"].insert(url_prefix);
+  return store_.add(location_dn(collection, location), std::move(attrs));
+}
+
+Status ReplicaCatalog::delete_location(const std::string& collection,
+                                       const std::string& location) {
+  const Dn dn = location_dn(collection, location);
+  const auto entry = store_.get(dn);
+  if (!entry.is_ok()) return entry.status();
+  if (entry->attributes.contains("filename")) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "location still holds replicas: " + location);
+  }
+  return store_.remove(dn);
+}
+
+Result<std::vector<std::string>> ReplicaCatalog::list_locations(
+    const std::string& collection) const {
+  auto entries =
+      store_.search(collection_dn(collection), SearchScope::kOneLevel,
+                    Filter::equals("objectclass", std::string(kClassLocation)));
+  if (!entries.is_ok()) return entries.status();
+  std::vector<std::string> out;
+  out.reserve(entries->size());
+  for (const LdapEntry& entry : *entries) out.push_back(entry.first("name"));
+  return out;
+}
+
+Status ReplicaCatalog::register_logical_file(
+    const std::string& collection, const LogicalFileName& lfn,
+    const LogicalFileAttributes& attributes) {
+  if (!collection_exists(collection)) {
+    return make_error(ErrorCode::kNotFound,
+                      "no such collection: " + collection);
+  }
+  std::map<std::string, std::set<std::string>> attrs;
+  attrs["objectclass"].insert(std::string(kClassLogicalFile));
+  attrs["name"].insert(lfn);
+  attrs["size"].insert(std::to_string(attributes.size));
+  attrs["mtime"].insert(std::to_string(attributes.modify_time));
+  attrs["seed"].insert(to_decimal(attributes.content_seed));
+  attrs["crc"].insert(to_decimal(attributes.crc));
+  for (const auto& [key, value] : attributes.extra) {
+    attrs[key].insert(value);
+  }
+  const Status added = store_.add(logical_file_dn(collection, lfn), attrs);
+  if (!added.is_ok()) return added;
+  // Collection membership is mirrored on the collection entry, as in the
+  // Globus catalog where a collection is "a group of logical file names".
+  return store_.add_value(collection_dn(collection), "filename", lfn);
+}
+
+Status ReplicaCatalog::unregister_logical_file(const std::string& collection,
+                                               const LogicalFileName& lfn) {
+  auto locations = lookup(collection, lfn);
+  if (locations.is_ok() && !locations->empty()) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "logical file still has replicas: " + lfn);
+  }
+  const Status removed = store_.remove(logical_file_dn(collection, lfn));
+  if (!removed.is_ok()) return removed;
+  return store_.remove_value(collection_dn(collection), "filename", lfn);
+}
+
+bool ReplicaCatalog::logical_file_exists(const std::string& collection,
+                                         const LogicalFileName& lfn) const {
+  return store_.exists(logical_file_dn(collection, lfn));
+}
+
+LogicalFileAttributes ReplicaCatalog::attributes_from_entry(
+    const LdapEntry& entry) {
+  LogicalFileAttributes out;
+  out.size = static_cast<Bytes>(from_decimal(entry.first("size")));
+  out.modify_time = static_cast<SimTime>(from_decimal(entry.first("mtime")));
+  out.content_seed = from_decimal(entry.first("seed"));
+  out.crc = static_cast<std::uint32_t>(from_decimal(entry.first("crc")));
+  for (const auto& [attr, values] : entry.attributes) {
+    if (attr == "objectclass" || attr == "name" || attr == "size" ||
+        attr == "mtime" || attr == "seed" || attr == "crc") {
+      continue;
+    }
+    if (!values.empty()) out.extra[attr] = *values.begin();
+  }
+  return out;
+}
+
+Result<LogicalFileAttributes> ReplicaCatalog::attributes(
+    const std::string& collection, const LogicalFileName& lfn) const {
+  auto entry = store_.get(logical_file_dn(collection, lfn));
+  if (!entry.is_ok()) return entry.status();
+  return attributes_from_entry(*entry);
+}
+
+Result<std::vector<LogicalFileName>> ReplicaCatalog::list_collection(
+    const std::string& collection) const {
+  auto entry = store_.get(collection_dn(collection));
+  if (!entry.is_ok()) return entry.status();
+  std::vector<LogicalFileName> out;
+  const auto it = entry->attributes.find("filename");
+  if (it != entry->attributes.end()) {
+    out.assign(it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+Status ReplicaCatalog::add_replica(const std::string& collection,
+                                   const std::string& location,
+                                   const LogicalFileName& lfn) {
+  if (!logical_file_exists(collection, lfn)) {
+    return make_error(ErrorCode::kNotFound,
+                      "logical file not registered: " + lfn);
+  }
+  const Dn dn = location_dn(collection, location);
+  const auto entry = store_.get(dn);
+  if (!entry.is_ok()) return entry.status();
+  if (entry->has_value("filename", lfn)) {
+    return make_error(ErrorCode::kAlreadyExists,
+                      "replica already recorded at " + location + ": " + lfn);
+  }
+  return store_.add_value(dn, "filename", lfn);
+}
+
+Status ReplicaCatalog::remove_replica(const std::string& collection,
+                                      const std::string& location,
+                                      const LogicalFileName& lfn) {
+  return store_.remove_value(location_dn(collection, location), "filename",
+                             lfn);
+}
+
+Result<std::vector<LogicalFileName>> ReplicaCatalog::list_location(
+    const std::string& collection, const std::string& location) const {
+  auto entry = store_.get(location_dn(collection, location));
+  if (!entry.is_ok()) return entry.status();
+  std::vector<LogicalFileName> out;
+  const auto it = entry->attributes.find("filename");
+  if (it != entry->attributes.end()) {
+    out.assign(it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+Result<std::vector<PhysicalFileName>> ReplicaCatalog::lookup(
+    const std::string& collection, const LogicalFileName& lfn) const {
+  if (!logical_file_exists(collection, lfn)) {
+    return make_error(ErrorCode::kNotFound,
+                      "logical file not registered: " + lfn);
+  }
+  auto locations =
+      store_.search(collection_dn(collection), SearchScope::kOneLevel,
+                    Filter::equals("objectclass", std::string(kClassLocation)));
+  if (!locations.is_ok()) return locations.status();
+  std::vector<PhysicalFileName> out;
+  for (const LdapEntry& entry : *locations) {
+    if (entry.has_value("filename", lfn)) {
+      out.push_back(entry.first("urlprefix") + "/" + lfn);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<LogicalFileName, LogicalFileAttributes>>>
+ReplicaCatalog::search(const std::string& collection,
+                       const Filter& filter) const {
+  Filter logical_only =
+      Filter::equals("objectclass", std::string(kClassLogicalFile));
+  auto entries = store_.search(collection_dn(collection),
+                               SearchScope::kOneLevel, logical_only);
+  if (!entries.is_ok()) return entries.status();
+  std::vector<std::pair<LogicalFileName, LogicalFileAttributes>> out;
+  for (const LdapEntry& entry : *entries) {
+    if (!filter.matches(entry.attributes)) continue;
+    out.emplace_back(entry.first("name"), attributes_from_entry(entry));
+  }
+  return out;
+}
+
+}  // namespace gdmp::catalog

@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// GDMP's Data Mover performs an end-to-end CRC check on every replicated
+// file beyond TCP's 16-bit checksums (paper §4.3). The simulator carries
+// file payloads as synthetic byte streams; the CRC runs over those streams
+// so corruption injected anywhere in the path is detected exactly as the
+// real tool would.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gdmp {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  /// Feeds a chunk of data; chunks may be split arbitrarily.
+  void update(std::span<const std::uint8_t> data) noexcept;
+
+  /// Feeds `n` bytes of the deterministic synthetic stream that represents
+  /// file content at byte offset `offset` with generation seed `seed`.
+  /// Two sites that generate the same (seed, offset, n) range produce
+  /// identical CRC contributions — this is how the simulator models
+  /// "same file content" without storing gigabytes.
+  void update_synthetic(std::uint64_t seed, std::int64_t offset,
+                        std::int64_t n) noexcept;
+
+  /// Final CRC value of everything fed so far.
+  std::uint32_t value() const noexcept { return state_ ^ 0xffffffffu; }
+
+  void reset() noexcept { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot CRC over a buffer.
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// One-shot CRC over a synthetic stream (see Crc32::update_synthetic).
+std::uint32_t crc32_synthetic(std::uint64_t seed, std::int64_t offset,
+                              std::int64_t n) noexcept;
+
+}  // namespace gdmp

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace gdmp {
+namespace {
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view line) {
+    std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+                 static_cast<int>(line.size()), line.data());
+  };
+}
+
+Logger& Logger::global() noexcept {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+    return;
+  }
+  sink_ = [](LogLevel level, std::string_view line) {
+    std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+                 static_cast<int>(line.size()), line.data());
+  };
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  std::string line;
+  if (clock_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t=%.6fs ", to_seconds(clock_()));
+    line += buf;
+  }
+  line += component;
+  line += ": ";
+  line += msg;
+  sink_(level, line);
+}
+
+}  // namespace gdmp

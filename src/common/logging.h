@@ -1,0 +1,76 @@
+// Minimal leveled logger.
+//
+// Components log against a shared sink with a simulated-time prefix so a
+// whole multi-site run reads as one interleaved trace. Logging is off by
+// default in tests and benches; examples turn it on.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace gdmp {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view line)>;
+
+  /// Global logger used by all subsystems. Not thread-safe by design: the
+  /// simulated world is single-threaded (DESIGN.md decision 3).
+  static Logger& global() noexcept;
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Replaces the sink (default: stderr). Pass nullptr to restore default.
+  void set_sink(Sink sink);
+
+  /// Clock used to prefix messages with simulated time; optional.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+  std::function<SimTime()> clock_;
+};
+
+namespace log_detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace log_detail
+
+#define GDMP_LOG(level, component, ...)                                      \
+  do {                                                                       \
+    if (::gdmp::Logger::global().enabled(level)) {                           \
+      ::gdmp::Logger::global().log(level, component,                         \
+                                   ::gdmp::log_detail::concat(__VA_ARGS__)); \
+    }                                                                        \
+  } while (false)
+
+#define GDMP_TRACE(component, ...) \
+  GDMP_LOG(::gdmp::LogLevel::kTrace, component, __VA_ARGS__)
+#define GDMP_DEBUG(component, ...) \
+  GDMP_LOG(::gdmp::LogLevel::kDebug, component, __VA_ARGS__)
+#define GDMP_INFO(component, ...) \
+  GDMP_LOG(::gdmp::LogLevel::kInfo, component, __VA_ARGS__)
+#define GDMP_WARN(component, ...) \
+  GDMP_LOG(::gdmp::LogLevel::kWarn, component, __VA_ARGS__)
+#define GDMP_ERROR(component, ...) \
+  GDMP_LOG(::gdmp::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace gdmp

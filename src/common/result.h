@@ -1,0 +1,111 @@
+// Lightweight Status / Result<T> error handling.
+//
+// GDMP services report failures as values rather than exceptions: replica
+// catalog misses, authorization denials and transfer failures are all
+// ordinary outcomes in a wide-area grid, not programming errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gdmp {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kInvalidArgument,
+  kUnavailable,       // peer down, link partitioned, no route
+  kTimedOut,
+  kCorrupted,         // checksum mismatch after transfer
+  kResourceExhausted, // disk pool full, no tape drive, quota
+  kFailedPrecondition,
+  kAborted,
+  kInternal,
+};
+
+/// Human-readable name of an error code ("NOT_FOUND", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// Outcome of an operation that produces no value.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+
+  bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "NOT_FOUND: no such logical file".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status make_error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// Outcome of an operation that produces a T on success.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).is_ok() && "Result from OK status");
+  }
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  ErrorCode code() const noexcept {
+    return is_ok() ? ErrorCode::kOk : std::get<Status>(data_).code();
+  }
+
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& value_or(const T& fallback) const& {
+    return is_ok() ? value() : fallback;
+  }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace gdmp

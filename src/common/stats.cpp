@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+namespace gdmp {
+
+double Percentiles::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+double TimeSeries::mean_in_window(SimTime begin, SimTime end) const noexcept {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.time >= begin && p.time <= end) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace gdmp

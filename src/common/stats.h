@@ -1,0 +1,78 @@
+// Statistics accumulators used by benches and the GridFTP instrumentation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gdmp {
+
+/// Streaming mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples for exact percentiles (bench-scale data volumes only).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  /// q in [0, 1]; nearest-rank. Returns 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Time series of (time, value) points; used for transfer-rate monitoring
+/// (GridFTP "integrated instrumentation", paper §3.2).
+class TimeSeries {
+ public:
+  void add(SimTime t, double value) { points_.push_back({t, value}); }
+
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  const std::vector<Point>& points() const noexcept { return points_; }
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// Mean of values in [begin, end]; 0 if no points fall in the window.
+  double mean_in_window(SimTime begin, SimTime end) const noexcept;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace gdmp

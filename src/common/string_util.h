@@ -1,0 +1,27 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gdmp {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Joins with a delimiter.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Glob-style match supporting '*' (any run) and '?' (any one char).
+/// Used by replica-catalog search filters.
+bool wildcard_match(std::string_view pattern, std::string_view text) noexcept;
+
+/// Formats a byte count human-readably ("12.0 MiB").
+std::string format_bytes(long long bytes);
+
+}  // namespace gdmp

@@ -1,0 +1,87 @@
+// Fundamental value types shared by every GDMP subsystem.
+//
+// The simulated world measures time in integer nanoseconds (deterministic,
+// no floating-point drift in the event queue), data in bytes, and link
+// speeds in bits per second.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gdmp {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+/// Data sizes in bytes.
+using Bytes = std::int64_t;
+
+/// Link / transfer rates in bits per second.
+using BitsPerSec = double;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr BitsPerSec kKbps = 1e3;
+constexpr BitsPerSec kMbps = 1e6;
+constexpr BitsPerSec kGbps = 1e9;
+
+/// Converts a duration to (floating) seconds, for reporting only.
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts seconds to a simulated duration (rounds toward zero).
+constexpr SimDuration from_seconds(double s) noexcept {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+/// Time to serialize `bytes` onto a link of rate `rate` (ceil to 1 ns).
+constexpr SimDuration transmission_delay(Bytes bytes, BitsPerSec rate) noexcept {
+  if (rate <= 0) return 0;
+  const double secs = static_cast<double>(bytes) * 8.0 / rate;
+  const auto d = static_cast<SimDuration>(secs * static_cast<double>(kSecond));
+  return d > 0 ? d : 1;
+}
+
+/// Achieved throughput in Mbit/s for `bytes` moved over duration `d`.
+constexpr double throughput_mbps(Bytes bytes, SimDuration d) noexcept {
+  if (d <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / to_seconds(d) / 1e6;
+}
+
+/// Identifier of a grid site (index into the testbed's site table).
+using SiteId = std::int32_t;
+
+/// Globally unique logical file name, e.g. "lfn://cms/run42/db.17".
+using LogicalFileName = std::string;
+
+/// Physical file name: URL-like location of one replica,
+/// e.g. "gsiftp://host3/pool/db.17".
+using PhysicalFileName = std::string;
+
+/// Unique persistent-object identifier within the experiment's object view.
+struct ObjectId {
+  std::uint64_t value = 0;
+
+  friend constexpr bool operator==(ObjectId, ObjectId) = default;
+  friend constexpr auto operator<=>(ObjectId, ObjectId) = default;
+};
+
+}  // namespace gdmp
+
+template <>
+struct std::hash<gdmp::ObjectId> {
+  std::size_t operator()(gdmp::ObjectId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,73 @@
+#include "common/uri.h"
+
+#include <charconv>
+
+namespace gdmp {
+
+std::string Uri::to_string() const {
+  std::string out = scheme;
+  out += "://";
+  out += host;
+  if (port != 0) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  out += path;
+  return out;
+}
+
+Result<Uri> parse_uri(std::string_view text) {
+  const auto scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "missing scheme in URL: " + std::string(text));
+  }
+  Uri uri;
+  uri.scheme = std::string(text.substr(0, scheme_end));
+  std::string_view rest = text.substr(scheme_end + 3);
+
+  const auto path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  uri.path = path_start == std::string_view::npos
+                 ? "/"
+                 : std::string(rest.substr(path_start));
+
+  if (authority.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "missing host in URL: " + std::string(text));
+  }
+  const auto colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view port_text = authority.substr(colon + 1);
+    int port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port <= 0 || port > 65535) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "bad port in URL: " + std::string(text));
+    }
+    uri.port = port;
+    uri.host = std::string(authority.substr(0, colon));
+  } else {
+    uri.host = std::string(authority);
+  }
+  if (uri.host.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "missing host in URL: " + std::string(text));
+  }
+  return uri;
+}
+
+Uri make_gsiftp_uri(std::string host, std::string path, int port) {
+  Uri uri;
+  uri.scheme = "gsiftp";
+  uri.host = std::move(host);
+  uri.port = port;
+  if (path.empty() || path.front() != '/') path.insert(path.begin(), '/');
+  uri.path = std::move(path);
+  return uri;
+}
+
+}  // namespace gdmp

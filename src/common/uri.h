@@ -1,0 +1,33 @@
+// URL parsing for grid file locations.
+//
+// Physical file names in the replica catalog are URLs of the form
+//   gsiftp://host[:port]/path  (GridFTP-reachable replica)
+//   file://host/path           (site-local file)
+//   mss://host/path            (resides in the mass storage system)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gdmp {
+
+struct Uri {
+  std::string scheme;  // "gsiftp", "file", "mss"
+  std::string host;
+  int port = 0;        // 0 = scheme default
+  std::string path;    // always begins with '/'
+
+  std::string to_string() const;
+
+  friend bool operator==(const Uri&, const Uri&) = default;
+};
+
+/// Parses a grid URL. Fails with kInvalidArgument on malformed input.
+Result<Uri> parse_uri(std::string_view text);
+
+/// Convenience builder for gsiftp URLs.
+Uri make_gsiftp_uri(std::string host, std::string path, int port = 2811);
+
+}  // namespace gdmp

@@ -1,0 +1,399 @@
+#include "gdmp/catalog_service.h"
+
+namespace gdmp::core {
+namespace {
+
+void encode_replica_info(rpc::Writer& w, const ReplicaInfo& info) {
+  w.str(info.lfn);
+  w.i64(info.attributes.size);
+  w.i64(info.attributes.modify_time);
+  w.u64(info.attributes.content_seed);
+  w.u32(info.attributes.crc);
+  w.u32(static_cast<std::uint32_t>(info.attributes.extra.size()));
+  for (const auto& [key, value] : info.attributes.extra) {
+    w.str(key);
+    w.str(value);
+  }
+  w.u32(static_cast<std::uint32_t>(info.locations.size()));
+  for (const auto& location : info.locations) w.str(location);
+}
+
+ReplicaInfo decode_replica_info(rpc::Reader& r) {
+  ReplicaInfo info;
+  info.lfn = r.str();
+  info.attributes.size = r.i64();
+  info.attributes.modify_time = r.i64();
+  info.attributes.content_seed = r.u64();
+  info.attributes.crc = r.u32();
+  const std::uint32_t extras = r.u32();
+  for (std::uint32_t i = 0; i < extras && r.ok(); ++i) {
+    std::string key = r.str();
+    info.attributes.extra[std::move(key)] = r.str();
+  }
+  const std::uint32_t locations = r.u32();
+  for (std::uint32_t i = 0; i < locations && r.ok(); ++i) {
+    info.locations.push_back(r.str());
+  }
+  return info;
+}
+
+catalog::LogicalFileAttributes attributes_of(const PublishedFile& file) {
+  catalog::LogicalFileAttributes attrs;
+  attrs.size = file.size;
+  attrs.modify_time = file.modify_time;
+  attrs.content_seed = file.content_seed;
+  attrs.crc = file.crc;
+  attrs.extra = file.extra;
+  attrs.extra["filetype"] = file.file_type;
+  return attrs;
+}
+
+}  // namespace
+
+CatalogServer::CatalogServer(net::TcpStack& stack,
+                             const security::CertificateAuthority& ca,
+                             security::Certificate credential,
+                             CatalogServerConfig config)
+    : stack_(stack),
+      rpc_(stack, config.port, ca, std::move(credential)),
+      config_(config) {
+  const auto bind = [this](auto method) {
+    return [this, method](const security::GsiContext&, std::uint64_t,
+                          std::span<const std::uint8_t> params,
+                          rpc::RpcServer::Respond respond) {
+      ++operations_;
+      (this->*method)(params, std::move(respond));
+    };
+  };
+  rpc_.register_method("rc.publish", bind(&CatalogServer::handle_publish));
+  rpc_.register_method("rc.add_replica",
+                       bind(&CatalogServer::handle_add_replica));
+  rpc_.register_method("rc.remove_replica",
+                       bind(&CatalogServer::handle_remove_replica));
+  rpc_.register_method("rc.unregister",
+                       bind(&CatalogServer::handle_unregister));
+  rpc_.register_method("rc.lookup", bind(&CatalogServer::handle_lookup));
+  rpc_.register_method("rc.list", bind(&CatalogServer::handle_list));
+  rpc_.register_method("rc.search", bind(&CatalogServer::handle_search));
+}
+
+Status CatalogServer::start() { return rpc_.start(); }
+void CatalogServer::stop() { rpc_.stop(); }
+
+void CatalogServer::with_latency(std::size_t results,
+                                 std::function<void()> fn) {
+  const SimDuration delay =
+      config_.op_latency +
+      static_cast<SimDuration>(results) * config_.per_result;
+  stack_.simulator().schedule(delay, std::move(fn));
+}
+
+void CatalogServer::handle_publish(std::span<const std::uint8_t> params,
+                                   Respond respond) {
+  rpc::Reader r(params);
+  const std::string collection = r.str();
+  const PublishedFile file = decode_published_file(r);
+  const std::string location_name = r.str();
+  const std::string url_prefix = r.str();
+  if (!r.ok() || file.lfn.empty()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed rc.publish"),
+            {});
+    return;
+  }
+  with_latency(1, [this, collection, file, location_name, url_prefix,
+                   respond = std::move(respond)] {
+    // Auto-create the collection and location (the wrapper's "automatic
+    // creation of required entries if they do not already exist").
+    if (!catalog_.collection_exists(collection)) {
+      (void)catalog_.create_collection(collection);
+    }
+    Status status = catalog_.register_logical_file(collection, file.lfn,
+                                                   attributes_of(file));
+    if (!status.is_ok()) {
+      respond(status, {});  // includes global-uniqueness violations
+      return;
+    }
+    if (auto locations = catalog_.list_locations(collection);
+        !locations.is_ok() ||
+        std::find(locations->begin(), locations->end(), location_name) ==
+            locations->end()) {
+      (void)catalog_.create_location(collection, location_name, url_prefix);
+    }
+    respond(catalog_.add_replica(collection, location_name, file.lfn), {});
+  });
+}
+
+void CatalogServer::handle_add_replica(std::span<const std::uint8_t> params,
+                                       Respond respond) {
+  rpc::Reader r(params);
+  const std::string collection = r.str();
+  const std::string lfn = r.str();
+  const std::string location_name = r.str();
+  const std::string url_prefix = r.str();
+  if (!r.ok()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed add_replica"),
+            {});
+    return;
+  }
+  with_latency(1, [this, collection, lfn, location_name, url_prefix,
+                   respond = std::move(respond)] {
+    if (auto locations = catalog_.list_locations(collection);
+        !locations.is_ok() ||
+        std::find(locations->begin(), locations->end(), location_name) ==
+            locations->end()) {
+      (void)catalog_.create_location(collection, location_name, url_prefix);
+    }
+    respond(catalog_.add_replica(collection, location_name, lfn), {});
+  });
+}
+
+void CatalogServer::handle_remove_replica(
+    std::span<const std::uint8_t> params, Respond respond) {
+  rpc::Reader r(params);
+  const std::string collection = r.str();
+  const std::string lfn = r.str();
+  const std::string location_name = r.str();
+  if (!r.ok()) {
+    respond(
+        make_error(ErrorCode::kInvalidArgument, "malformed remove_replica"),
+        {});
+    return;
+  }
+  with_latency(1, [this, collection, lfn, location_name,
+                   respond = std::move(respond)] {
+    respond(catalog_.remove_replica(collection, location_name, lfn), {});
+  });
+}
+
+void CatalogServer::handle_unregister(std::span<const std::uint8_t> params,
+                                      Respond respond) {
+  rpc::Reader r(params);
+  const std::string collection = r.str();
+  const std::string lfn = r.str();
+  if (!r.ok()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed unregister"),
+            {});
+    return;
+  }
+  with_latency(1, [this, collection, lfn, respond = std::move(respond)] {
+    respond(catalog_.unregister_logical_file(collection, lfn), {});
+  });
+}
+
+void CatalogServer::handle_lookup(std::span<const std::uint8_t> params,
+                                  Respond respond) {
+  rpc::Reader r(params);
+  const std::string collection = r.str();
+  const std::string lfn = r.str();
+  if (!r.ok()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed lookup"), {});
+    return;
+  }
+  with_latency(1, [this, collection, lfn, respond = std::move(respond)] {
+    auto attrs = catalog_.attributes(collection, lfn);
+    if (!attrs.is_ok()) {
+      respond(attrs.status(), {});
+      return;
+    }
+    auto locations = catalog_.lookup(collection, lfn);
+    if (!locations.is_ok()) {
+      respond(locations.status(), {});
+      return;
+    }
+    ReplicaInfo info;
+    info.lfn = lfn;
+    info.attributes = *attrs;
+    info.locations = *locations;
+    rpc::Writer w;
+    encode_replica_info(w, info);
+    respond(Status::ok(), w.take());
+  });
+}
+
+void CatalogServer::handle_list(std::span<const std::uint8_t> params,
+                                Respond respond) {
+  rpc::Reader r(params);
+  const std::string collection = r.str();
+  if (!r.ok()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed list"), {});
+    return;
+  }
+  auto files = catalog_.list_collection(collection);
+  if (!files.is_ok()) {
+    respond(files.status(), {});
+    return;
+  }
+  with_latency(files->size(),
+               [files = std::move(files.value()),
+                respond = std::move(respond)]() mutable {
+                 rpc::Writer w;
+                 w.u32(static_cast<std::uint32_t>(files.size()));
+                 for (const auto& lfn : files) w.str(lfn);
+                 respond(Status::ok(), w.take());
+               });
+}
+
+void CatalogServer::handle_search(std::span<const std::uint8_t> params,
+                                  Respond respond) {
+  rpc::Reader r(params);
+  const std::string collection = r.str();
+  const std::string filter_text = r.str();
+  if (!r.ok()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed search"), {});
+    return;
+  }
+  auto filter = catalog::Filter::parse(filter_text);
+  if (!filter.is_ok()) {
+    respond(filter.status(), {});
+    return;
+  }
+  auto matches = catalog_.search(collection, *filter);
+  if (!matches.is_ok()) {
+    respond(matches.status(), {});
+    return;
+  }
+  with_latency(
+      matches->size(),
+      [this, collection, matches = std::move(matches.value()),
+       respond = std::move(respond)]() mutable {
+        rpc::Writer w;
+        w.u32(static_cast<std::uint32_t>(matches.size()));
+        for (const auto& [lfn, attrs] : matches) {
+          ReplicaInfo info;
+          info.lfn = lfn;
+          info.attributes = attrs;
+          if (auto locations = catalog_.lookup(collection, lfn);
+              locations.is_ok()) {
+            info.locations = std::move(*locations);
+          }
+          encode_replica_info(w, info);
+        }
+        respond(Status::ok(), w.take());
+      });
+}
+
+// ----------------------------------------------------------------- client
+
+CatalogClient::CatalogClient(net::TcpStack& stack, net::NodeId catalog_host,
+                             net::Port catalog_port,
+                             const security::CertificateAuthority& ca,
+                             security::Certificate credential)
+    : rpc_(stack, catalog_host, catalog_port, ca, std::move(credential)) {}
+
+void CatalogClient::publish(const std::string& collection,
+                            const PublishedFile& file,
+                            const std::string& location_name,
+                            const std::string& url_prefix,
+                            std::function<void(Status)> done) {
+  if (file.lfn.empty() || collection.empty() || location_name.empty()) {
+    done(make_error(ErrorCode::kInvalidArgument,
+                    "publish requires collection, lfn and location"));
+    return;
+  }
+  rpc::Writer w;
+  w.str(collection);
+  encode_published_file(w, file);
+  w.str(location_name);
+  w.str(url_prefix);
+  rpc_.call("rc.publish", w.take(),
+            [done = std::move(done)](Status status, std::vector<std::uint8_t>) {
+              done(status);
+            });
+}
+
+void CatalogClient::add_replica(const std::string& collection,
+                                const LogicalFileName& lfn,
+                                const std::string& location_name,
+                                const std::string& url_prefix,
+                                std::function<void(Status)> done) {
+  rpc::Writer w;
+  w.str(collection);
+  w.str(lfn);
+  w.str(location_name);
+  w.str(url_prefix);
+  rpc_.call("rc.add_replica", w.take(),
+            [done = std::move(done)](Status status, std::vector<std::uint8_t>) {
+              done(status);
+            });
+}
+
+void CatalogClient::remove_replica(const std::string& collection,
+                                   const LogicalFileName& lfn,
+                                   const std::string& location_name,
+                                   std::function<void(Status)> done) {
+  rpc::Writer w;
+  w.str(collection);
+  w.str(lfn);
+  w.str(location_name);
+  rpc_.call("rc.remove_replica", w.take(),
+            [done = std::move(done)](Status status, std::vector<std::uint8_t>) {
+              done(status);
+            });
+}
+
+void CatalogClient::lookup(const std::string& collection,
+                           const LogicalFileName& lfn,
+                           std::function<void(Result<ReplicaInfo>)> done) {
+  rpc::Writer w;
+  w.str(collection);
+  w.str(lfn);
+  rpc_.call("rc.lookup", w.take(),
+            [done = std::move(done)](Status status,
+                                     std::vector<std::uint8_t> reply) {
+              if (!status.is_ok()) {
+                done(status);
+                return;
+              }
+              rpc::Reader r(reply);
+              done(decode_replica_info(r));
+            });
+}
+
+void CatalogClient::search(
+    const std::string& collection, const std::string& filter,
+    std::function<void(Result<std::vector<ReplicaInfo>>)> done) {
+  rpc::Writer w;
+  w.str(collection);
+  w.str(filter);
+  rpc_.call("rc.search", w.take(),
+            [done = std::move(done)](Status status,
+                                     std::vector<std::uint8_t> reply) {
+              if (!status.is_ok()) {
+                done(status);
+                return;
+              }
+              rpc::Reader r(reply);
+              const std::uint32_t n = r.u32();
+              std::vector<ReplicaInfo> out;
+              out.reserve(n);
+              for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+                out.push_back(decode_replica_info(r));
+              }
+              done(std::move(out));
+            });
+}
+
+void CatalogClient::list_collection(
+    const std::string& collection,
+    std::function<void(Result<std::vector<LogicalFileName>>)> done) {
+  rpc::Writer w;
+  w.str(collection);
+  rpc_.call("rc.list", w.take(),
+            [done = std::move(done)](Status status,
+                                     std::vector<std::uint8_t> reply) {
+              if (!status.is_ok()) {
+                done(status);
+                return;
+              }
+              rpc::Reader r(reply);
+              const std::uint32_t n = r.u32();
+              std::vector<LogicalFileName> out;
+              out.reserve(n);
+              for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+                out.push_back(r.str());
+              }
+              done(std::move(out));
+            });
+}
+
+}  // namespace gdmp::core

@@ -1,0 +1,119 @@
+// GDMP Replica Catalog Service (§4.2).
+//
+// Server side: the single central catalog host running the Globus Replica
+// Catalog over its LDAP backend ("for simplicity, use a central replica
+// catalog and a single LDAP server"). Every operation pays an LDAP service
+// latency plus a per-result cost.
+//
+// Client side: the high-level object-oriented wrapper the paper describes —
+// "hides some Globus API details and also introduces additional
+// functionality such as search filters, sanity checks on input parameters,
+// and automatic creation of required entries ... requires fewer method
+// calls to add, delete, or search files".
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "catalog/replica_catalog.h"
+#include "gdmp/types.h"
+#include "rpc/rpc_client.h"
+#include "rpc/rpc_server.h"
+
+namespace gdmp::core {
+
+struct CatalogServerConfig {
+  net::Port port = 2010;
+  /// Base LDAP operation latency and per-returned-entry cost.
+  SimDuration op_latency = 2 * kMillisecond;
+  SimDuration per_result = 20 * kMicrosecond;
+};
+
+class CatalogServer {
+ public:
+  CatalogServer(net::TcpStack& stack,
+                const security::CertificateAuthority& ca,
+                security::Certificate credential,
+                CatalogServerConfig config = {});
+
+  Status start();
+  void stop();
+
+  catalog::ReplicaCatalog& catalog() noexcept { return catalog_; }
+  std::int64_t operations_served() const noexcept { return operations_; }
+
+ private:
+  using Respond = rpc::RpcServer::Respond;
+
+  void with_latency(std::size_t results, std::function<void()> fn);
+
+  void handle_publish(std::span<const std::uint8_t> params, Respond respond);
+  void handle_add_replica(std::span<const std::uint8_t> params,
+                          Respond respond);
+  void handle_remove_replica(std::span<const std::uint8_t> params,
+                             Respond respond);
+  void handle_unregister(std::span<const std::uint8_t> params,
+                         Respond respond);
+  void handle_lookup(std::span<const std::uint8_t> params, Respond respond);
+  void handle_list(std::span<const std::uint8_t> params, Respond respond);
+  void handle_search(std::span<const std::uint8_t> params, Respond respond);
+
+  net::TcpStack& stack_;
+  rpc::RpcServer rpc_;
+  CatalogServerConfig config_;
+  catalog::ReplicaCatalog catalog_;
+  std::int64_t operations_ = 0;
+};
+
+/// A replica of a logical file, as returned by lookup/search.
+struct ReplicaInfo {
+  LogicalFileName lfn;
+  catalog::LogicalFileAttributes attributes;
+  std::vector<PhysicalFileName> locations;
+};
+
+class CatalogClient {
+ public:
+  CatalogClient(net::TcpStack& stack, net::NodeId catalog_host,
+                net::Port catalog_port,
+                const security::CertificateAuthority& ca,
+                security::Certificate credential);
+
+  /// One call: ensures collection + location exist, registers the logical
+  /// file (globally unique name enforced server-side) and its first
+  /// replica. The raw Globus API needs four calls for this.
+  void publish(const std::string& collection, const PublishedFile& file,
+               const std::string& location_name,
+               const std::string& url_prefix,
+               std::function<void(Status)> done);
+
+  /// Registers an additional replica of an existing logical file.
+  void add_replica(const std::string& collection, const LogicalFileName& lfn,
+                   const std::string& location_name,
+                   const std::string& url_prefix,
+                   std::function<void(Status)> done);
+
+  void remove_replica(const std::string& collection,
+                      const LogicalFileName& lfn,
+                      const std::string& location_name,
+                      std::function<void(Status)> done);
+
+  /// All physical locations + attributes of one logical file.
+  void lookup(const std::string& collection, const LogicalFileName& lfn,
+              std::function<void(Result<ReplicaInfo>)> done);
+
+  /// Logical files matching an LDAP filter over their attributes
+  /// ("users can specify filters to obtain the exact information that they
+  /// require").
+  void search(const std::string& collection, const std::string& filter,
+              std::function<void(Result<std::vector<ReplicaInfo>>)> done);
+
+  void list_collection(
+      const std::string& collection,
+      std::function<void(Result<std::vector<LogicalFileName>>)> done);
+
+ private:
+  rpc::RpcClient rpc_;
+};
+
+}  // namespace gdmp::core

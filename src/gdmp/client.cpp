@@ -1,0 +1,101 @@
+#include "gdmp/client.h"
+
+#include "common/string_util.h"
+
+namespace gdmp::core {
+
+LogicalFileName GdmpClient::generate_lfn(const std::string& basename) {
+  return "lfn://" + server_.config().collection + "/" +
+         server_.site().site_name + "/" + basename + "-" +
+         std::to_string(++lfn_serial_);
+}
+
+void GdmpClient::publish(std::vector<PublishedFile> files,
+                         std::function<void(Status)> done) {
+  for (PublishedFile& file : files) {
+    if (file.lfn.empty()) {
+      std::string basename = file.local_path;
+      if (const auto slash = basename.rfind('/');
+          slash != std::string::npos) {
+        basename = basename.substr(slash + 1);
+      }
+      file.lfn = generate_lfn(basename);
+    }
+  }
+  server_.publish(std::move(files), std::move(done));
+}
+
+void GdmpClient::get_files(std::vector<LogicalFileName> lfns,
+                           std::function<void(Status, Bytes)> done) {
+  if (lfns.empty()) {
+    done(Status::ok(), 0);
+    return;
+  }
+  struct Progress {
+    std::size_t remaining;
+    Status first_error;
+    Bytes bytes = 0;
+  };
+  auto progress = std::make_shared<Progress>();
+  progress->remaining = lfns.size();
+  auto finish = std::make_shared<std::function<void(Status, Bytes)>>(
+      std::move(done));
+  for (const LogicalFileName& lfn : lfns) {
+    server_.replicate(
+        lfn, [progress, finish](Result<gridftp::TransferResult> result) {
+          if (result.is_ok()) {
+            progress->bytes += result->bytes;
+          } else if (progress->first_error.is_ok() &&
+                     result.code() != ErrorCode::kAlreadyExists) {
+            progress->first_error = result.status();
+          }
+          if (--progress->remaining == 0) {
+            (*finish)(progress->first_error, progress->bytes);
+          }
+        });
+  }
+}
+
+void GdmpClient::get_with_associations(
+    const LogicalFileName& lfn, std::function<void(Status, Bytes)> done) {
+  server_.catalog().lookup(
+      server_.config().collection, lfn,
+      [this, lfn, done = std::move(done)](Result<ReplicaInfo> info) mutable {
+        if (!info.is_ok()) {
+          done(info.status(), 0);
+          return;
+        }
+        std::vector<LogicalFileName> lfns = {lfn};
+        if (const auto it = info->attributes.extra.find("assoc");
+            it != info->attributes.extra.end()) {
+          for (const std::string& associated : split(it->second, ',')) {
+            if (!associated.empty()) lfns.push_back(associated);
+          }
+        }
+        get_files(std::move(lfns), std::move(done));
+      });
+}
+
+void GdmpClient::missing_from(
+    net::NodeId remote, net::Port remote_port,
+    std::function<void(Result<std::vector<PublishedFile>>)> done) {
+  server_.fetch_remote_catalog(
+      remote, remote_port,
+      [this, done = std::move(done)](
+          Result<std::vector<PublishedFile>> remote_catalog) {
+        if (!remote_catalog.is_ok()) {
+          done(remote_catalog.status());
+          return;
+        }
+        std::vector<PublishedFile> missing;
+        for (const PublishedFile& file : *remote_catalog) {
+          if (!server_.site().pool.contains(
+                  server_.local_path_for(file.lfn))) {
+            missing.push_back(file);
+          }
+        }
+        done(std::move(missing));
+      });
+}
+
+}  // namespace gdmp::core

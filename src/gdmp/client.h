@@ -1,0 +1,69 @@
+// GDMP client commands: the four end-user services of §4.1.
+//
+//  * subscribing to a remote site,
+//  * publishing new files,
+//  * obtaining a remote site's file catalog for failure recovery,
+//  * transferring files from a remote location to the local site.
+//
+// Commands run against the local site's GDMP server (the way the real
+// gdmp_* command-line tools talked to their site daemon).
+#pragma once
+
+#include "gdmp/server.h"
+
+namespace gdmp::core {
+
+class GdmpClient {
+ public:
+  explicit GdmpClient(GdmpServer& server) : server_(server) {}
+
+  /// Auto-generates a unique logical file name for a local file
+  /// ("GDMP supports both the automatic generation and user selection of
+  /// new logical file names").
+  LogicalFileName generate_lfn(const std::string& basename);
+
+  /// Publishes local pool files. Each PublishedFile needs at least
+  /// local_path (and lfn, unless auto-generation is requested via empty
+  /// lfn, in which case the path's basename seeds the name).
+  void publish(std::vector<PublishedFile> files,
+               std::function<void(Status)> done);
+
+  /// Subscribes the local site to a producer.
+  void subscribe(net::NodeId producer, net::Port producer_port,
+                 std::function<void(Status)> done) {
+    server_.subscribe_to(producer, producer_port, std::move(done));
+  }
+
+  /// Pulls one logical file to the local site.
+  void get_file(const LogicalFileName& lfn,
+                GdmpServer::ReplicateDone done) {
+    server_.replicate(lfn, std::move(done));
+  }
+
+  /// Pulls a set of logical files; `done` receives the first error (or OK)
+  /// after all transfers finish.
+  void get_files(std::vector<LogicalFileName> lfns,
+                 std::function<void(Status, Bytes bytes_moved)> done);
+
+  /// Pulls a logical file *and* its associated files (§2.1: files coupled
+  /// by navigational relations "have to be treated as associated files and
+  /// replicated together in order to preserve the navigation"). The
+  /// association list is the file's "assoc" attribute (comma-separated
+  /// lfns), set by the producer.
+  void get_with_associations(const LogicalFileName& lfn,
+                             std::function<void(Status, Bytes)> done);
+
+  /// Failure recovery: fetch a remote site's export catalog and return the
+  /// files the local site is missing.
+  void missing_from(net::NodeId remote, net::Port remote_port,
+                    std::function<void(Result<std::vector<PublishedFile>>)>
+                        done);
+
+  GdmpServer& server() noexcept { return server_; }
+
+ private:
+  GdmpServer& server_;
+  std::uint64_t lfn_serial_ = 0;
+};
+
+}  // namespace gdmp::core

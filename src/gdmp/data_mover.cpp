@@ -1,0 +1,48 @@
+#include "gdmp/data_mover.h"
+
+namespace gdmp::core {
+
+void DataMover::pull(net::NodeId source, net::Port source_port,
+                     const std::string& remote_path,
+                     const std::string& local_path,
+                     std::optional<std::uint32_t> expected_crc, Done done) {
+  gridftp::TransferOptions options = defaults_;
+  options.expected_crc = expected_crc;
+  pull_with_options(source, source_port, remote_path, local_path, options,
+                    std::move(done));
+}
+
+void DataMover::pull_with_options(net::NodeId source, net::Port source_port,
+                                  const std::string& remote_path,
+                                  const std::string& local_path,
+                                  gridftp::TransferOptions options,
+                                  Done done) {
+  queue_.push_back(Request{source, source_port, remote_path, local_path,
+                           options, std::move(done)});
+  pump();
+}
+
+void DataMover::pump() {
+  while (active_ < max_concurrent_ && !queue_.empty()) {
+    Request request = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    ftp_.get(request.source, request.port, request.remote_path,
+             request.local_path, &site_.pool, request.options,
+             [this, done = std::move(request.done)](
+                 Result<gridftp::TransferResult> result) {
+               --active_;
+               if (result.is_ok()) {
+                 ++stats_.transfers_completed;
+                 stats_.bytes_moved += result->bytes;
+                 stats_.total_attempts += result->attempts;
+               } else {
+                 ++stats_.transfers_failed;
+               }
+               done(std::move(result));
+               pump();
+             });
+  }
+}
+
+}  // namespace gdmp::core

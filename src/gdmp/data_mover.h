@@ -1,0 +1,76 @@
+// GDMP Data Mover Service (§4.3).
+//
+// Queues wide-area pulls onto GridFTP with bounded concurrency, passes the
+// catalog CRC as the end-to-end check ("the built-in error correction in
+// GridFTP plus an additional CRC error check"), and leans on the client's
+// restart logic for interrupted transfers.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/result.h"
+#include "gdmp/site_services.h"
+#include "gdmp/types.h"
+#include "gridftp/client.h"
+
+namespace gdmp::core {
+
+struct DataMoverStats {
+  std::int64_t transfers_completed = 0;
+  std::int64_t transfers_failed = 0;
+  Bytes bytes_moved = 0;
+  std::int64_t total_attempts = 0;
+};
+
+class DataMover {
+ public:
+  using Done = std::function<void(Result<gridftp::TransferResult>)>;
+
+  DataMover(SiteServices& site, gridftp::TransferOptions defaults,
+            int max_concurrent)
+      : site_(site),
+        defaults_(defaults),
+        max_concurrent_(max_concurrent > 0 ? max_concurrent : 1),
+        ftp_(site.stack, site.ca, site.credential) {}
+
+  /// Pulls `remote_path` from a GridFTP endpoint into the local pool.
+  /// `expected_crc` comes from the replica catalog.
+  void pull(net::NodeId source, net::Port source_port,
+            const std::string& remote_path, const std::string& local_path,
+            std::optional<std::uint32_t> expected_crc, Done done);
+
+  /// As `pull`, with per-transfer option overrides.
+  void pull_with_options(net::NodeId source, net::Port source_port,
+                         const std::string& remote_path,
+                         const std::string& local_path,
+                         gridftp::TransferOptions options, Done done);
+
+  const DataMoverStats& stats() const noexcept { return stats_; }
+  int in_flight() const noexcept { return active_; }
+  std::size_t queued() const noexcept { return queue_.size(); }
+  gridftp::FtpClient& ftp() noexcept { return ftp_; }
+
+ private:
+  struct Request {
+    net::NodeId source;
+    net::Port port;
+    std::string remote_path;
+    std::string local_path;
+    gridftp::TransferOptions options;
+    Done done;
+  };
+
+  void pump();
+
+  SiteServices& site_;
+  gridftp::TransferOptions defaults_;
+  int max_concurrent_;
+  gridftp::FtpClient ftp_;
+  DataMoverStats stats_;
+  std::deque<Request> queue_;
+  int active_ = 0;
+};
+
+}  // namespace gdmp::core

@@ -1,0 +1,512 @@
+#include "gdmp/server.h"
+
+#include "common/logging.h"
+#include "gridftp/protocol.h"
+
+namespace gdmp::core {
+
+GdmpServer::GdmpServer(SiteServices& site, GdmpConfig config,
+                       HostResolver resolver)
+    : site_(site),
+      config_(config),
+      resolver_(std::move(resolver)),
+      rpc_(site.stack, config.server_port, site.ca, site.credential),
+      catalog_client_(site.stack, config.catalog_host, config.catalog_port,
+                      site.ca, site.credential),
+      data_mover_(site, config.transfer, config.max_concurrent_transfers),
+      storage_manager_(site),
+      selector_([](const std::vector<Uri>&) { return std::size_t{0}; }),
+      rng_(0x6d6d ^ std::hash<std::string>{}(site.site_name)) {
+  rpc_.register_method(
+      kMethodSubscribe,
+      [this](const security::GsiContext& peer, std::uint64_t,
+             std::span<const std::uint8_t> p, Respond r) {
+        handle_subscribe(peer, p, std::move(r));
+      });
+  rpc_.register_method(
+      kMethodUnsubscribe,
+      [this](const security::GsiContext& peer, std::uint64_t,
+             std::span<const std::uint8_t> p, Respond r) {
+        handle_unsubscribe(peer, p, std::move(r));
+      });
+  rpc_.register_method(
+      kMethodNotify,
+      [this](const security::GsiContext& peer, std::uint64_t,
+             std::span<const std::uint8_t> p, Respond r) {
+        handle_notify(peer, p, std::move(r));
+      });
+  rpc_.register_method(
+      kMethodGetCatalog,
+      [this](const security::GsiContext& peer, std::uint64_t,
+             std::span<const std::uint8_t>, Respond r) {
+        handle_get_catalog(peer, std::move(r));
+      });
+  rpc_.register_method(
+      kMethodStage,
+      [this](const security::GsiContext& peer, std::uint64_t,
+             std::span<const std::uint8_t> p, Respond r) {
+        handle_stage(peer, p, std::move(r));
+      });
+  rpc_.register_method(
+      "gdmp.release",
+      [this](const security::GsiContext&, std::uint64_t,
+             std::span<const std::uint8_t> p, Respond r) {
+        handle_release(p, std::move(r));
+      });
+  rpc_.register_method(
+      kMethodDeleteFile,
+      [this](const security::GsiContext& peer, std::uint64_t,
+             std::span<const std::uint8_t> p, Respond r) {
+        handle_delete(peer, p, std::move(r));
+      });
+}
+
+GdmpServer::~GdmpServer() {
+  *alive_ = false;
+  stop();
+}
+
+Status GdmpServer::start() { return rpc_.start(); }
+void GdmpServer::stop() { rpc_.stop(); }
+
+std::string GdmpServer::url_prefix() const {
+  return "gsiftp://" + site_.site_name + ":" +
+         std::to_string(config_.gridftp_port) + "/pool";
+}
+
+rpc::RpcClient& GdmpServer::peer(net::NodeId node, net::Port port) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 16) |
+      port;
+  auto& slot = peers_[key];
+  if (!slot) {
+    // Inter-server requests legitimately take long: a stage can queue
+    // behind tape mounts, a pack behind disk seeks.
+    rpc::RpcClientConfig config;
+    config.call_timeout = 4 * 3600 * kSecond;
+    slot = std::make_unique<rpc::RpcClient>(site_.stack, node, port, site_.ca,
+                                            site_.credential, config);
+  }
+  return *slot;
+}
+
+Status GdmpServer::authorize(security::Operation op,
+                             const security::GsiContext& peer) const {
+  if (!use_acl_) return Status::ok();
+  return acl_.check(op, peer.peer);
+}
+
+// --------------------------------------------------------------- producer
+
+void GdmpServer::publish(std::vector<PublishedFile> files, PublishDone done) {
+  if (files.empty()) {
+    done(Status::ok());
+    return;
+  }
+  // Validate everything locally before touching the global catalog. The
+  // Globus catalog maps lfn -> location url_prefix + "/" + lfn, so every
+  // published file must live at the canonical pool path for its name.
+  for (PublishedFile& file : files) {
+    if (file.local_path.empty()) file.local_path = local_path_for(file.lfn);
+    if (file.local_path != local_path_for(file.lfn)) {
+      done(make_error(ErrorCode::kInvalidArgument,
+                      "physical path must be " + local_path_for(file.lfn) +
+                          " (catalog locations are url_prefix + lfn), got " +
+                          file.local_path));
+      return;
+    }
+    auto info = site_.pool.peek(file.local_path);
+    if (!info.is_ok()) {
+      done(make_error(ErrorCode::kNotFound,
+                      "cannot publish " + file.lfn + ": " +
+                          info.status().message()));
+      return;
+    }
+    file.size = info->size;
+    file.content_seed = info->content_seed;
+    file.crc = info->crc();
+    file.modify_time = info->modify_time;
+  }
+
+  auto shared = std::make_shared<std::vector<PublishedFile>>(std::move(files));
+  auto remaining = std::make_shared<std::size_t>(shared->size());
+  auto first_error = std::make_shared<Status>();
+  std::weak_ptr<bool> alive = alive_;
+
+  for (const PublishedFile& file : *shared) {
+    catalog_client_.publish(
+        config_.collection, file, site_.site_name, url_prefix(),
+        [this, alive, shared, remaining, first_error, file,
+         done](Status status) {
+          if (alive.expired()) return;
+          if (status.is_ok()) {
+            export_catalog_[file.lfn] = file;
+            ++stats_.files_published;
+            if (config_.auto_archive_published) {
+              storage_manager_.archive(file.local_path, [](Status) {});
+            }
+          } else if (first_error->is_ok()) {
+            *first_error = status;
+          }
+          if (--*remaining == 0) {
+            notify_subscribers(*shared);
+            done(*first_error);
+          }
+        });
+  }
+}
+
+void GdmpServer::notify_subscribers(const std::vector<PublishedFile>& files) {
+  rpc::Writer w;
+  w.str(site_.site_name);
+  w.u32(static_cast<std::uint32_t>(files.size()));
+  for (const PublishedFile& file : files) encode_published_file(w, file);
+  const std::vector<std::uint8_t> payload = w.take();
+  for (const SubscriberInfo& subscriber : subscribers_) {
+    ++stats_.notifications_sent;
+    peer(subscriber.node, subscriber.port)
+        .call(kMethodNotify, payload,
+              [](Status status, std::vector<std::uint8_t>) {
+                if (!status.is_ok()) {
+                  GDMP_WARN("gdmp.server",
+                            "notification failed: ", status.to_string());
+                }
+              });
+  }
+}
+
+// --------------------------------------------------------------- consumer
+
+void GdmpServer::subscribe_to(net::NodeId producer, net::Port producer_port,
+                              std::function<void(Status)> done) {
+  rpc::Writer w;
+  w.str(site_.site_name);
+  w.u32(static_cast<std::uint32_t>(site_.node_id()));
+  w.u16(config_.server_port);
+  peer(producer, producer_port)
+      .call(kMethodSubscribe, w.take(),
+            [done = std::move(done)](Status status,
+                                     std::vector<std::uint8_t>) {
+              done(status);
+            });
+}
+
+void GdmpServer::replicate(const LogicalFileName& lfn, ReplicateDone done) {
+  const std::string local_path = local_path_for(lfn);
+  if (site_.pool.contains(local_path)) {
+    done(make_error(ErrorCode::kAlreadyExists,
+                    "replica already on site: " + lfn));
+    return;
+  }
+  std::weak_ptr<bool> alive = alive_;
+  catalog_client_.lookup(
+      config_.collection, lfn,
+      [this, alive, lfn, local_path, done](Result<ReplicaInfo> info) {
+        if (alive.expired()) return;
+        if (!info.is_ok()) {
+          ++stats_.replication_failures;
+          done(info.status());
+          return;
+        }
+        // Parse candidate replica URLs, excluding our own.
+        std::vector<Uri> candidates;
+        for (const PhysicalFileName& pfn : info->locations) {
+          auto uri = parse_uri(pfn);
+          if (uri.is_ok() && uri->host != site_.site_name) {
+            candidates.push_back(std::move(*uri));
+          }
+        }
+        if (candidates.empty()) {
+          ++stats_.replication_failures;
+          done(make_error(ErrorCode::kUnavailable,
+                          "no remote replica of " + lfn));
+          return;
+        }
+        const Uri source = candidates[selector_(candidates) %
+                                      candidates.size()];
+        auto source_node = resolver_(source.host);
+        if (!source_node.is_ok()) {
+          ++stats_.replication_failures;
+          done(source_node.status());
+          return;
+        }
+
+        PublishedFile file;
+        file.lfn = lfn;
+        file.local_path = local_path;
+        file.size = info->attributes.size;
+        file.content_seed = info->attributes.content_seed;
+        file.crc = info->attributes.crc;
+        file.modify_time = info->attributes.modify_time;
+        file.extra = info->attributes.extra;
+        if (const auto it = file.extra.find("filetype");
+            it != file.extra.end()) {
+          file.file_type = it->second;
+        }
+
+        FileTypePlugin& plugin = plugins_.plugin_for(file.file_type);
+        const std::uint32_t expected_crc = file.crc;
+        const net::NodeId src_node = *source_node;
+
+        plugin.pre_process(site_, file, [this, alive, lfn, file, source,
+                                         src_node, expected_crc,
+                                         done](Status pre) {
+          if (alive.expired()) return;
+          if (!pre.is_ok()) {
+            ++stats_.replication_failures;
+            done(pre);
+            return;
+          }
+          // Ask the source GDMP server to stage the file to its disk pool
+          // ("the GDMP server then informs the remote site when the file is
+          // present locally on disk", §4.4).
+          rpc::Writer w;
+          w.str(source.path);
+          peer(src_node, config_.server_port)
+              .call(kMethodStage, w.take(),
+                    [this, alive, lfn, file, source, src_node, expected_crc,
+                     done](Status staged, std::vector<std::uint8_t>) {
+                      if (alive.expired()) return;
+                      if (!staged.is_ok()) {
+                        ++stats_.replication_failures;
+                        done(staged);
+                        return;
+                      }
+                      data_mover_.pull(
+                          src_node, config_.gridftp_port, source.path,
+                          file.local_path, expected_crc,
+                          [this, alive, lfn, file, source, src_node,
+                           done](Result<gridftp::TransferResult> result) {
+                            if (alive.expired()) return;
+                            finish_replication(lfn, file, source, src_node,
+                                               std::move(result), done);
+                          });
+                    });
+        });
+      });
+}
+
+void GdmpServer::finish_replication(const LogicalFileName& lfn,
+                                    const PublishedFile& file,
+                                    const Uri& source,
+                                    net::NodeId source_node,
+                                    Result<gridftp::TransferResult> transfer,
+                                    ReplicateDone done) {
+  // Always release the pin we asked the source to take.
+  rpc::Writer w;
+  w.str(source.path);
+  peer(source_node, config_.server_port)
+      .call("gdmp.release", w.take(),
+            [](Status, std::vector<std::uint8_t>) {});
+
+  if (!transfer.is_ok()) {
+    ++stats_.replication_failures;
+    done(std::move(transfer));
+    return;
+  }
+  std::weak_ptr<bool> alive = alive_;
+  FileTypePlugin& plugin = plugins_.plugin_for(file.file_type);
+  plugin.post_process(
+      site_, file, file.local_path,
+      [this, alive, lfn, file, transfer = std::move(transfer),
+       done](Status post) mutable {
+        if (alive.expired()) return;
+        if (!post.is_ok()) {
+          ++stats_.replication_failures;
+          (void)site_.pool.remove(file.local_path);
+          done(post);
+          return;
+        }
+        catalog_client_.add_replica(
+            config_.collection, lfn, site_.site_name, url_prefix(),
+            [this, alive, lfn, file, transfer = std::move(transfer),
+             done](Status registered) mutable {
+              if (alive.expired()) return;
+              // A stale replica record (e.g. re-replication after a local
+              // disk incident the catalog never heard about) is fine: the
+              // catalog already says what we want it to say.
+              if (!registered.is_ok() &&
+                  registered.code() != ErrorCode::kAlreadyExists) {
+                ++stats_.replication_failures;
+                done(registered);
+                return;
+              }
+              export_catalog_[lfn] = file;
+              ++stats_.files_replicated;
+              if (config_.auto_archive_published) {
+                storage_manager_.archive(file.local_path, [](Status) {});
+              }
+              done(std::move(transfer));
+            });
+      });
+}
+
+void GdmpServer::fetch_remote_catalog(
+    net::NodeId remote, net::Port remote_port,
+    std::function<void(Result<std::vector<PublishedFile>>)> done) {
+  peer(remote, remote_port)
+      .call(kMethodGetCatalog, {},
+            [done = std::move(done)](Status status,
+                                     std::vector<std::uint8_t> reply) {
+              if (!status.is_ok()) {
+                done(status);
+                return;
+              }
+              rpc::Reader r(reply);
+              const std::uint32_t n = r.u32();
+              std::vector<PublishedFile> out;
+              out.reserve(n);
+              for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+                out.push_back(decode_published_file(r));
+              }
+              done(std::move(out));
+            });
+}
+
+// --------------------------------------------------------------- handlers
+
+void GdmpServer::handle_subscribe(const security::GsiContext& peer_ctx,
+                                  std::span<const std::uint8_t> params,
+                                  Respond respond) {
+  if (Status auth = authorize(security::Operation::kSubscribe, peer_ctx);
+      !auth.is_ok()) {
+    respond(auth, {});
+    return;
+  }
+  rpc::Reader r(params);
+  SubscriberInfo info;
+  info.site = r.str();
+  info.node = static_cast<net::NodeId>(r.u32());
+  info.port = r.u16();
+  if (!r.ok() || info.site.empty()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed subscribe"),
+            {});
+    return;
+  }
+  subscribers_.erase(info);  // idempotent re-subscribe updates endpoint
+  subscribers_.insert(info);
+  respond(Status::ok(), {});
+}
+
+void GdmpServer::handle_unsubscribe(const security::GsiContext& peer_ctx,
+                                    std::span<const std::uint8_t> params,
+                                    Respond respond) {
+  if (Status auth = authorize(security::Operation::kSubscribe, peer_ctx);
+      !auth.is_ok()) {
+    respond(auth, {});
+    return;
+  }
+  rpc::Reader r(params);
+  SubscriberInfo info;
+  info.site = r.str();
+  subscribers_.erase(info);
+  respond(Status::ok(), {});
+}
+
+void GdmpServer::handle_notify(const security::GsiContext& peer_ctx,
+                               std::span<const std::uint8_t> params,
+                               Respond respond) {
+  if (Status auth = authorize(security::Operation::kPublish, peer_ctx);
+      !auth.is_ok()) {
+    respond(auth, {});
+    return;
+  }
+  rpc::Reader r(params);
+  const std::string from_site = r.str();
+  const std::uint32_t n = r.u32();
+  std::vector<PublishedFile> files;
+  files.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    files.push_back(decode_published_file(r));
+  }
+  if (!r.ok()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed notify"), {});
+    return;
+  }
+  respond(Status::ok(), {});  // ack immediately; replication is async
+  for (const PublishedFile& file : files) {
+    ++stats_.notifications_received;
+    if (on_notification) on_notification(from_site, file);
+    if (config_.auto_replicate_on_notify) {
+      replicate(file.lfn, [lfn = file.lfn](
+                              Result<gridftp::TransferResult> result) {
+        if (!result.is_ok() &&
+            result.code() != ErrorCode::kAlreadyExists) {
+          GDMP_WARN("gdmp.server", "auto-replication of ", lfn,
+                    " failed: ", result.status().to_string());
+        }
+      });
+    }
+  }
+}
+
+void GdmpServer::handle_get_catalog(const security::GsiContext& peer_ctx,
+                                    Respond respond) {
+  if (Status auth = authorize(security::Operation::kGetCatalog, peer_ctx);
+      !auth.is_ok()) {
+    respond(auth, {});
+    return;
+  }
+  rpc::Writer w;
+  w.u32(static_cast<std::uint32_t>(export_catalog_.size()));
+  for (const auto& [lfn, file] : export_catalog_) {
+    encode_published_file(w, file);
+  }
+  respond(Status::ok(), w.take());
+}
+
+void GdmpServer::handle_stage(const security::GsiContext& peer_ctx,
+                              std::span<const std::uint8_t> params,
+                              Respond respond) {
+  if (Status auth = authorize(security::Operation::kStageRequest, peer_ctx);
+      !auth.is_ok()) {
+    respond(auth, {});
+    return;
+  }
+  rpc::Reader r(params);
+  const std::string path = r.str();
+  if (!r.ok()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed stage"), {});
+    return;
+  }
+  ++stats_.stage_requests_served;
+  storage_manager_.ensure_on_disk(
+      path, [respond = std::move(respond)](Result<storage::FileInfo> result) {
+        respond(result.is_ok() ? Status::ok() : result.status(), {});
+      });
+}
+
+void GdmpServer::handle_release(std::span<const std::uint8_t> params,
+                                Respond respond) {
+  rpc::Reader r(params);
+  const std::string path = r.str();
+  storage_manager_.unpin(path);
+  respond(Status::ok(), {});
+}
+
+void GdmpServer::handle_delete(const security::GsiContext& peer_ctx,
+                               std::span<const std::uint8_t> params,
+                               Respond respond) {
+  if (Status auth = authorize(security::Operation::kTransferFile, peer_ctx);
+      !auth.is_ok()) {
+    respond(auth, {});
+    return;
+  }
+  rpc::Reader r(params);
+  const LogicalFileName lfn = r.str();
+  const std::string local_path = local_path_for(lfn);
+  if (site_.federation != nullptr &&
+      site_.federation->is_attached(local_path)) {
+    (void)site_.federation->detach(local_path);
+  }
+  const Status removed = site_.pool.remove(local_path);
+  export_catalog_.erase(lfn);
+  std::weak_ptr<bool> alive = alive_;
+  catalog_client_.remove_replica(
+      config_.collection, lfn, site_.site_name,
+      [removed, respond = std::move(respond)](Status catalog_status) {
+        respond(removed.is_ok() ? catalog_status : removed, {});
+      });
+}
+
+}  // namespace gdmp::core

@@ -1,0 +1,53 @@
+// GDMP Storage Manager Service (§4.4).
+//
+// Fronts the site disk pool and its Mass Storage System plug-in: files are
+// looked for on disk first and, on a miss, staged explicitly from tape
+// ("by default a file is first looked for on its disk location and if it
+// is not there, it is assumed to be available in the Mass Storage
+// System"). Duplicate stage requests for the same file coalesce onto one
+// tape operation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gdmp/site_services.h"
+
+namespace gdmp::core {
+
+struct StorageManagerStats {
+  std::int64_t disk_hits = 0;
+  std::int64_t stage_requests = 0;
+  std::int64_t stages_coalesced = 0;
+  std::int64_t archives = 0;
+};
+
+class StorageManager {
+ public:
+  using EnsureCallback = std::function<void(Result<storage::FileInfo>)>;
+  using ArchiveCallback = std::function<void(Status)>;
+
+  explicit StorageManager(SiteServices& site) : site_(site) {}
+
+  /// Makes `path` present (and pinned) in the disk pool, staging from the
+  /// MSS if needed. Callers must unpin when done with the file.
+  void ensure_on_disk(const std::string& path, EnsureCallback done);
+
+  /// Archives a pool file to the MSS (no-op success if the site has none —
+  /// disk-only sites are valid Grid caches).
+  void archive(const std::string& path, ArchiveCallback done);
+
+  void unpin(const std::string& path) { (void)site_.pool.unpin(path); }
+
+  const StorageManagerStats& stats() const noexcept { return stats_; }
+
+ private:
+  SiteServices& site_;
+  StorageManagerStats stats_;
+  std::map<std::string, std::vector<EnsureCallback>> staging_;
+};
+
+}  // namespace gdmp::core

@@ -1,0 +1,659 @@
+#include "gridftp/client.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace gdmp::gridftp {
+namespace {
+
+/// Content identity of a stored *partial* file: a subrange of a synthetic
+/// stream is itself a fresh stream with a derived seed (DESIGN.md §2).
+std::uint64_t derive_partial_seed(std::uint64_t seed, Bytes offset,
+                                  Bytes length) noexcept {
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(offset + 1));
+  z ^= 0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(length);
+  z = (z ^ (z >> 30)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+struct FtpClient::Transfer : std::enable_shared_from_this<Transfer> {
+  // Immutable parameters.
+  net::NodeId server = net::kInvalidNode;
+  net::Port control_port = 0;
+  TransferOptions options;
+  Done done;
+  bool is_put = false;
+  std::string remote_path;
+  std::string local_path;
+  storage::DiskPool* pool = nullptr;  // destination (get) / source (put)
+
+  // Control plane.
+  std::unique_ptr<rpc::RpcClient> rpc;
+  std::uint64_t token = 0;
+  net::Port data_port = 0;
+
+  // Resolved transfer geometry.
+  Bytes file_size = 0;
+  std::vector<ByteRange> requested;      // original resolved ranges
+  std::vector<ByteRange> attempt_ranges; // what this attempt fetches
+
+  // Data plane.
+  std::vector<net::TcpConnection::Ptr> streams;
+  std::vector<std::unique_ptr<BlockStreamParser>> parsers;
+  RangeSet received;
+  std::map<Bytes, std::pair<Bytes, std::uint64_t>> blocks;  // offset -> {len, seed}
+  Bytes payload_bytes = 0;  // progress counter for the rate monitor
+
+  // Put-side bookkeeping.
+  std::uint64_t source_seed = 0;
+  std::uint32_t source_crc = 0;
+
+  // Outcome accumulation.
+  SimTime started_at = 0;
+  int attempts = 0;
+  TimeSeries rate_series;
+  Bytes last_sampled_bytes = 0;
+  std::unique_ptr<sim::PeriodicTimer> monitor;
+  bool finished = false;
+
+  void close_streams() {
+    for (auto& stream : streams) {
+      if (!stream) continue;
+      stream->on_data = nullptr;
+      stream->on_synthetic_data = nullptr;
+      stream->on_closed = nullptr;
+      stream->on_established = nullptr;
+      if (stream->state() != net::TcpConnection::State::kClosed) {
+        stream->close();
+      }
+    }
+    streams.clear();
+    parsers.clear();
+  }
+
+  std::int64_t sum_retransmits() const {
+    std::int64_t total = 0;
+    for (const auto& stream : streams) {
+      if (stream) total += stream->stats().retransmits;
+    }
+    return total;
+  }
+};
+
+FtpClient::FtpClient(net::TcpStack& stack,
+                     const security::CertificateAuthority& ca,
+                     security::Certificate credential)
+    : stack_(stack), ca_(ca), credential_(std::move(credential)) {}
+
+FtpClient::~FtpClient() { *alive_ = false; }
+
+std::unique_ptr<rpc::RpcClient> FtpClient::make_rpc(
+    net::NodeId server, net::Port port, SimDuration timeout) const {
+  rpc::RpcClientConfig config;
+  config.call_timeout = timeout;
+  return std::make_unique<rpc::RpcClient>(stack_, server, port, ca_,
+                                          credential_, config);
+}
+
+std::shared_ptr<FtpClient::Transfer> FtpClient::make_transfer(
+    net::NodeId server, net::Port port, const TransferOptions& options,
+    Done done) {
+  auto transfer = std::make_shared<Transfer>();
+  transfer->server = server;
+  transfer->control_port = port;
+  transfer->options = options;
+  transfer->done = std::move(done);
+  transfer->started_at = stack_.simulator().now();
+  transfer->rpc = make_rpc(server, port, options.rpc_timeout);
+  return transfer;
+}
+
+void FtpClient::get(net::NodeId server, net::Port control_port,
+                    const std::string& remote_path,
+                    const std::string& local_path, storage::DiskPool* pool,
+                    const TransferOptions& options, Done done) {
+  auto transfer = make_transfer(server, control_port, options, std::move(done));
+  transfer->is_put = false;
+  transfer->remote_path = remote_path;
+  transfer->local_path = local_path;
+  transfer->pool = pool;
+
+  std::weak_ptr<bool> alive = alive_;
+  // Resolve the file size first (needed for open-ended ranges and bounds).
+  rpc::Writer w;
+  w.str(remote_path);
+  transfer->rpc->call(
+      kCmdSize, w.take(),
+      [this, alive, transfer](Status status,
+                              std::vector<std::uint8_t> reply) {
+        if (alive.expired() || transfer->finished) return;
+        if (!status.is_ok()) {
+          complete(transfer, status);
+          return;
+        }
+        rpc::Reader r(reply);
+        transfer->file_size = r.i64();
+        ByteRange range = transfer->options.range;
+        if (range.length < 0) range.length = transfer->file_size - range.offset;
+        if (range.offset < 0 || range.length < 0 ||
+            range.offset + range.length > transfer->file_size) {
+          complete(transfer, make_error(ErrorCode::kInvalidArgument,
+                                        "requested range out of bounds"));
+          return;
+        }
+        transfer->requested = {range};
+        transfer->attempt_ranges = {range};
+        start_get_attempt(transfer);
+      });
+}
+
+void FtpClient::start_get_attempt(const std::shared_ptr<Transfer>& transfer) {
+  ++transfer->attempts;
+  transfer->close_streams();
+  std::weak_ptr<bool> alive = alive_;
+
+  rpc::Writer sbuf;
+  sbuf.i64(transfer->options.tcp_buffer);
+  transfer->rpc->call(
+      "SBUF", sbuf.take(),
+      [this, alive, transfer](Status status, std::vector<std::uint8_t>) {
+        if (alive.expired() || transfer->finished) return;
+        if (!status.is_ok()) {
+          complete(transfer, status);
+          return;
+        }
+        rpc::Writer pasv;
+        pasv.u32(static_cast<std::uint32_t>(
+            transfer->options.parallel_streams));
+        transfer->rpc->call(
+            kCmdPassive, pasv.take(),
+            [this, alive, transfer](Status pasv_status,
+                                    std::vector<std::uint8_t> reply) {
+              if (alive.expired() || transfer->finished) return;
+              if (!pasv_status.is_ok()) {
+                complete(transfer, pasv_status);
+                return;
+              }
+              rpc::Reader r(reply);
+              transfer->data_port = r.u16();
+              transfer->token = r.u64();
+              open_streams(transfer, [this, alive, transfer] {
+                if (alive.expired() || transfer->finished) return;
+                rpc::Writer retr;
+                retr.u64(transfer->token);
+                retr.str(transfer->remote_path);
+                retr.u32(static_cast<std::uint32_t>(
+                    transfer->attempt_ranges.size()));
+                for (const ByteRange& range : transfer->attempt_ranges) {
+                  retr.i64(range.offset);
+                  retr.i64(range.length);
+                }
+                transfer->rpc->call(
+                    kCmdRetrieve, retr.take(),
+                    [this, alive, transfer](Status retr_status,
+                                            std::vector<std::uint8_t> rep) {
+                      if (alive.expired() || transfer->finished) return;
+                      finish_get_attempt(transfer, std::move(retr_status),
+                                         rep);
+                    });
+              });
+            });
+      });
+}
+
+void FtpClient::open_streams(const std::shared_ptr<Transfer>& transfer,
+                             std::function<void()> when_ready) {
+  const int n = transfer->options.parallel_streams;
+  net::TcpConfig tcp;
+  tcp.send_buffer = transfer->options.tcp_buffer;
+  tcp.recv_buffer = transfer->options.tcp_buffer;
+
+  auto established = std::make_shared<int>(0);
+  auto ready = std::make_shared<std::function<void()>>(std::move(when_ready));
+  std::weak_ptr<bool> alive = alive_;
+
+  transfer->streams.resize(static_cast<std::size_t>(n));
+  transfer->parsers.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto conn = stack_.connect(transfer->server, transfer->data_port, tcp);
+    transfer->streams[static_cast<std::size_t>(i)] = conn;
+    auto parser = std::make_unique<BlockStreamParser>();
+    auto* parser_raw = parser.get();
+
+    parser_raw->on_payload = [transfer, parser_raw](const BlockHeader& header,
+                                                    Bytes fresh) {
+      const Bytes pos = header.offset + header.length -
+                        (parser_raw->payload_remaining() + fresh);
+      transfer->received.add(pos, fresh);
+      transfer->payload_bytes += fresh;
+    };
+    parser_raw->on_block_end = [transfer](const BlockHeader& header) {
+      transfer->blocks[header.offset] = {header.length, header.content_seed};
+    };
+    parser_raw->on_error = [this, alive, transfer](const Status& status) {
+      if (alive.expired() || transfer->finished) return;
+      complete(transfer, status);
+    };
+    transfer->parsers[static_cast<std::size_t>(i)] = std::move(parser);
+
+    conn->on_data = [parser_raw](std::span<const std::uint8_t> data) {
+      parser_raw->feed_data(data);
+    };
+    conn->on_synthetic_data = [parser_raw](Bytes bytes) {
+      parser_raw->feed_synthetic(bytes);
+    };
+    conn->on_established = [this, alive, transfer, conn, i, n, established,
+                            ready](const Status& status) {
+      if (alive.expired() || transfer->finished) return;
+      if (!status.is_ok()) {
+        complete(transfer, status);
+        return;
+      }
+      DataHello hello;
+      hello.session_token = transfer->token;
+      hello.stream_index = static_cast<std::uint16_t>(i);
+      rpc::Writer w;
+      hello.encode(w);
+      conn->send(w.take());
+      if (++*established == n && *ready) {
+        auto fn = std::move(*ready);
+        *ready = nullptr;
+        fn();
+      }
+    };
+    // Stream failures surface through the server's RETR/STOR error reply
+    // (the server observes the same close); nothing to do here beyond
+    // ignoring orderly teardown.
+    conn->on_closed = [](const Status&) {};
+  }
+
+  // Throughput instrumentation: sample payload progress periodically.
+  if (!transfer->monitor) {
+    transfer->last_sampled_bytes = 0;
+    transfer->monitor = std::make_unique<sim::PeriodicTimer>(
+        stack_.simulator(), transfer->options.monitor_interval, [transfer, this] {
+          const Bytes now_bytes = transfer->payload_bytes;
+          const double mbps = throughput_mbps(
+              now_bytes - transfer->last_sampled_bytes,
+              transfer->options.monitor_interval);
+          transfer->last_sampled_bytes = now_bytes;
+          transfer->rate_series.add(stack_.simulator().now(), mbps);
+        });
+    transfer->monitor->start();
+  }
+}
+
+void FtpClient::finish_get_attempt(const std::shared_ptr<Transfer>& transfer,
+                                   Status status,
+                                   std::span<const std::uint8_t> reply) {
+  if (!status.is_ok()) {
+    // Recoverable failure: re-request whatever is still missing.
+    std::vector<ByteRange> missing;
+    for (const ByteRange& range : transfer->requested) {
+      auto holes = transfer->received.missing_within(range.offset, range.length);
+      missing.insert(missing.end(), holes.begin(), holes.end());
+    }
+    if (missing.empty()) missing = transfer->requested;
+    retry_or_fail(transfer, std::move(missing), status);
+    return;
+  }
+  rpc::Reader r(reply);
+  (void)r.i64();  // bytes reported by server
+  const std::uint32_t server_crc = r.u32();
+  if (transfer->attempts == 1) {
+    // The first attempt covers the full requested range; its server-side
+    // CRC is the reference for "what the source file actually contains".
+    transfer->source_crc = server_crc;
+  }
+
+  // End-to-end verification. `source_crc` (first-attempt server CRC over
+  // the full range) tells apart wire corruption (retry helps) from a source
+  // replica that disagrees with the catalog (retry cannot help).
+  if (transfer->options.expected_crc &&
+      transfer->source_crc != *transfer->options.expected_crc) {
+    complete(transfer,
+             make_error(ErrorCode::kCorrupted,
+                        "replica does not match catalog checksum"));
+    return;
+  }
+
+  // Identify the file's true content: the candidate seed whose full-range
+  // CRC matches the server-side reference. Blocks carrying any other seed
+  // were corrupted on the wire and are re-requested.
+  std::uint64_t true_seed = 0;
+  bool seed_known = false;
+  std::set<std::uint64_t> candidates;
+  for (const auto& [offset, block] : transfer->blocks) {
+    candidates.insert(block.second);
+  }
+  for (const std::uint64_t seed : candidates) {
+    Crc32 crc;
+    for (const ByteRange& range : transfer->requested) {
+      crc.update_synthetic(seed, range.offset, range.length);
+    }
+    if (crc.value() == transfer->source_crc) {
+      true_seed = seed;
+      seed_known = true;
+      break;
+    }
+  }
+
+  std::vector<ByteRange> bad;
+  if (!seed_known) {
+    // Every received block is corrupted (or the stream is inconsistent):
+    // nothing usable — re-request the whole range.
+    bad = transfer->requested;
+  } else {
+    for (const auto& [offset, block] : transfer->blocks) {
+      if (block.second != true_seed) {
+        bad.push_back(ByteRange{offset, block.first});
+      }
+    }
+    for (const ByteRange& range : transfer->requested) {
+      auto holes =
+          transfer->received.missing_within(range.offset, range.length);
+      bad.insert(bad.end(), holes.begin(), holes.end());
+    }
+  }
+  if (!bad.empty()) {
+    retry_or_fail(transfer, std::move(bad),
+                  make_error(ErrorCode::kCorrupted,
+                             "CRC/coverage check failed after transfer"));
+    return;
+  }
+  const std::uint64_t majority_seed = true_seed;
+  const std::uint32_t computed = transfer->source_crc;
+
+  // Success: optionally materialize the file locally.
+  TransferResult result;
+  result.bytes = transfer->received.total_bytes();
+  result.elapsed = stack_.simulator().now() - transfer->started_at;
+  result.mbps = throughput_mbps(result.bytes, result.elapsed);
+  result.crc = computed;
+  result.attempts = transfer->attempts;
+  result.streams = transfer->options.parallel_streams;
+  result.retransmitted_segments = transfer->sum_retransmits();
+  result.rate_series = transfer->rate_series;
+
+  const ByteRange& whole = transfer->requested.front();
+  const bool full_file =
+      whole.offset == 0 && whole.length == transfer->file_size;
+  result.source_seed = majority_seed;
+  result.content_seed =
+      full_file ? majority_seed
+                : derive_partial_seed(majority_seed, whole.offset,
+                                      whole.length);
+
+  if (transfer->pool != nullptr) {
+    auto added = transfer->pool->add_file(
+        transfer->local_path, whole.length, result.content_seed,
+        stack_.simulator().now());
+    if (!added.is_ok()) {
+      complete(transfer, added.status());
+      return;
+    }
+    transfer->pool->disk().write(whole.length, [] {});
+  }
+  complete(transfer, std::move(result));
+}
+
+void FtpClient::put(net::NodeId server, net::Port control_port,
+                    storage::DiskPool& pool, const std::string& local_path,
+                    const std::string& remote_path,
+                    const TransferOptions& options, Done done) {
+  auto transfer = make_transfer(server, control_port, options, std::move(done));
+  transfer->is_put = true;
+  transfer->remote_path = remote_path;
+  transfer->local_path = local_path;
+  transfer->pool = &pool;
+
+  auto file = pool.lookup(local_path);
+  if (!file.is_ok()) {
+    complete(transfer, file.status());
+    return;
+  }
+  transfer->file_size = file->size;
+  transfer->source_seed = file->content_seed;
+  transfer->source_crc = file->crc();
+  transfer->requested = {ByteRange{0, file->size}};
+  start_put_attempt(transfer);
+}
+
+void FtpClient::start_put_attempt(const std::shared_ptr<Transfer>& transfer) {
+  ++transfer->attempts;
+  transfer->close_streams();
+  std::weak_ptr<bool> alive = alive_;
+
+  rpc::Writer sbuf;
+  sbuf.i64(transfer->options.tcp_buffer);
+  transfer->rpc->call(
+      "SBUF", sbuf.take(),
+      [this, alive, transfer](Status status, std::vector<std::uint8_t>) {
+        if (alive.expired() || transfer->finished) return;
+        if (!status.is_ok()) {
+          complete(transfer, status);
+          return;
+        }
+        rpc::Writer pasv;
+        pasv.u32(static_cast<std::uint32_t>(
+            transfer->options.parallel_streams));
+        transfer->rpc->call(
+            kCmdPassive, pasv.take(),
+            [this, alive, transfer](Status pasv_status,
+                                    std::vector<std::uint8_t> reply) {
+              if (alive.expired() || transfer->finished) return;
+              if (!pasv_status.is_ok()) {
+                complete(transfer, pasv_status);
+                return;
+              }
+              rpc::Reader r(reply);
+              transfer->data_port = r.u16();
+              transfer->token = r.u64();
+              open_streams(transfer, [this, alive, transfer] {
+                if (alive.expired() || transfer->finished) return;
+                // Issue STOR, then stream the blocks.
+                rpc::Writer stor;
+                stor.u64(transfer->token);
+                stor.str(transfer->remote_path);
+                stor.i64(transfer->file_size);
+                transfer->rpc->call(
+                    kCmdStore, stor.take(),
+                    [this, alive, transfer](Status stor_status,
+                                            std::vector<std::uint8_t> rep) {
+                      if (alive.expired() || transfer->finished) return;
+                      finish_put_attempt(transfer, std::move(stor_status),
+                                         rep);
+                    });
+                const auto parts = partition_range(
+                    ByteRange{0, transfer->file_size},
+                    transfer->options.parallel_streams, transfer->file_size);
+                for (std::size_t i = 0; i < transfer->streams.size(); ++i) {
+                  auto& conn = transfer->streams[i];
+                  if (i < parts.size()) {
+                    BlockHeader header;
+                    header.offset = parts[i].offset;
+                    header.length = parts[i].length;
+                    header.content_seed = transfer->source_seed;
+                    rpc::Writer w;
+                    header.encode(w);
+                    conn->send(w.take());
+                    conn->send_synthetic(parts[i].length);
+                    transfer->payload_bytes += parts[i].length;
+                    transfer->pool->disk().read(parts[i].length, [] {});
+                  }
+                  BlockHeader eod;
+                  eod.offset = -1;
+                  rpc::Writer w;
+                  eod.encode(w);
+                  conn->send(w.take());
+                }
+              });
+            });
+      });
+}
+
+void FtpClient::finish_put_attempt(const std::shared_ptr<Transfer>& transfer,
+                                   Status status,
+                                   std::span<const std::uint8_t> reply) {
+  if (!status.is_ok()) {
+    retry_or_fail(transfer, transfer->requested, status);
+    return;
+  }
+  rpc::Reader r(reply);
+  const std::uint32_t remote_crc = r.u32();
+  if (remote_crc != transfer->source_crc) {
+    retry_or_fail(transfer, transfer->requested,
+                  make_error(ErrorCode::kCorrupted,
+                             "remote CRC mismatch after STOR"));
+    return;
+  }
+  TransferResult result;
+  result.bytes = transfer->file_size;
+  result.elapsed = stack_.simulator().now() - transfer->started_at;
+  result.mbps = throughput_mbps(result.bytes, result.elapsed);
+  result.crc = remote_crc;
+  result.content_seed = transfer->source_seed;
+  result.source_seed = transfer->source_seed;
+  result.attempts = transfer->attempts;
+  result.streams = transfer->options.parallel_streams;
+  result.retransmitted_segments = transfer->sum_retransmits();
+  result.rate_series = transfer->rate_series;
+  complete(transfer, std::move(result));
+}
+
+void FtpClient::retry_or_fail(const std::shared_ptr<Transfer>& transfer,
+                              std::vector<ByteRange> ranges,
+                              const Status& cause) {
+  if (transfer->attempts >= transfer->options.max_attempts) {
+    complete(transfer, cause);
+    return;
+  }
+  GDMP_INFO("gridftp.client",
+            "restarting transfer of ", transfer->remote_path, " (",
+            ranges.size(), " ranges): ", cause.to_string());
+  if (transfer->is_put) {
+    start_put_attempt(transfer);
+    return;
+  }
+  // Purge block records overlapping the ranges being re-fetched so stale
+  // corrupted seeds do not poison the next attempt's majority vote.
+  for (const ByteRange& range : ranges) {
+    auto it = transfer->blocks.begin();
+    while (it != transfer->blocks.end()) {
+      const Bytes block_end = it->first + it->second.first;
+      if (it->first < range.offset + range.length &&
+          range.offset < block_end) {
+        it = transfer->blocks.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  transfer->attempt_ranges = std::move(ranges);
+  start_get_attempt(transfer);
+}
+
+void FtpClient::complete(const std::shared_ptr<Transfer>& transfer,
+                         Result<TransferResult> result) {
+  if (transfer->finished) return;
+  transfer->finished = true;
+  if (transfer->monitor) transfer->monitor->stop();
+  transfer->close_streams();
+  if (transfer->rpc) transfer->rpc->close();
+  if (transfer->done) transfer->done(std::move(result));
+}
+
+void FtpClient::third_party(net::NodeId source, net::Port source_port,
+                            const std::string& path, net::NodeId dest,
+                            net::Port dest_port, const std::string& dest_path,
+                            const TransferOptions& options, Done done) {
+  auto rpc = std::make_shared<std::unique_ptr<rpc::RpcClient>>(
+      make_rpc(source, source_port, options.rpc_timeout));
+  rpc::Writer w;
+  w.str(path);
+  w.u32(static_cast<std::uint32_t>(dest));
+  w.u16(dest_port);
+  w.str(dest_path);
+  w.u32(static_cast<std::uint32_t>(options.parallel_streams));
+  w.i64(options.tcp_buffer);
+  const SimTime started = stack_.simulator().now();
+  (*rpc)->call(kCmdTransferTo, w.take(),
+               [this, rpc, done = std::move(done), started, options](
+                   Status status, std::vector<std::uint8_t> reply) {
+                 (*rpc)->close();
+                 if (!status.is_ok()) {
+                   done(status);
+                   return;
+                 }
+                 rpc::Reader r(reply);
+                 TransferResult result;
+                 result.bytes = r.i64();
+                 result.crc = r.u32();
+                 result.elapsed = stack_.simulator().now() - started;
+                 result.mbps = throughput_mbps(result.bytes, result.elapsed);
+                 result.streams = options.parallel_streams;
+                 done(std::move(result));
+               });
+}
+
+void FtpClient::file_size(net::NodeId server, net::Port port,
+                          const std::string& path,
+                          std::function<void(Result<Bytes>)> done) {
+  auto rpc = std::make_shared<std::unique_ptr<rpc::RpcClient>>(
+      make_rpc(server, port, 60 * kSecond));
+  rpc::Writer w;
+  w.str(path);
+  (*rpc)->call(kCmdSize, w.take(),
+               [rpc, done = std::move(done)](Status status,
+                                             std::vector<std::uint8_t> reply) {
+                 (*rpc)->close();
+                 if (!status.is_ok()) {
+                   done(status);
+                   return;
+                 }
+                 rpc::Reader r(reply);
+                 done(r.i64());
+               });
+}
+
+void FtpClient::checksum(net::NodeId server, net::Port port,
+                         const std::string& path,
+                         std::function<void(Result<std::uint32_t>)> done) {
+  auto rpc = std::make_shared<std::unique_ptr<rpc::RpcClient>>(
+      make_rpc(server, port, 60 * kSecond));
+  rpc::Writer w;
+  w.str(path);
+  (*rpc)->call(kCmdChecksum, w.take(),
+               [rpc, done = std::move(done)](Status status,
+                                             std::vector<std::uint8_t> reply) {
+                 (*rpc)->close();
+                 if (!status.is_ok()) {
+                   done(status);
+                   return;
+                 }
+                 rpc::Reader r(reply);
+                 done(r.u32());
+               });
+}
+
+void FtpClient::remove_remote(net::NodeId server, net::Port port,
+                              const std::string& path,
+                              std::function<void(Status)> done) {
+  auto rpc = std::make_shared<std::unique_ptr<rpc::RpcClient>>(
+      make_rpc(server, port, 60 * kSecond));
+  rpc::Writer w;
+  w.str(path);
+  (*rpc)->call(kCmdDelete, w.take(),
+               [rpc, done = std::move(done)](Status status,
+                                             std::vector<std::uint8_t>) {
+                 (*rpc)->close();
+                 done(status);
+               });
+}
+
+}  // namespace gdmp::gridftp

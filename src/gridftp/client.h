@@ -1,0 +1,128 @@
+// GridFTP client library (globus_ftp_client analogue).
+//
+// Implements get/put with parallel TCP streams, TCP buffer negotiation,
+// partial-file ranges, automatic restart of failed or corrupted transfers,
+// third-party transfer control, and integrated throughput instrumentation
+// (a periodic rate sampler, the paper's "monitoring ongoing transfer
+// performance").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "gridftp/block_stream.h"
+#include "gridftp/protocol.h"
+#include "rpc/rpc_client.h"
+#include "storage/disk_pool.h"
+
+namespace gdmp::gridftp {
+
+struct TransferOptions {
+  int parallel_streams = 1;
+  /// TCP socket buffer for *both ends* of every data stream ("the buffer
+  /// size must be adjusted for both the send and receive ends", §6).
+  Bytes tcp_buffer = 64 * kKiB;
+  /// Partial transfer: defaults to the whole file.
+  ByteRange range{0, -1};
+  /// End-to-end reference checksum (e.g. from the replica catalog). When
+  /// set, a mismatch that cannot be repaired by block re-requests fails
+  /// with kCorrupted.
+  std::optional<std::uint32_t> expected_crc;
+  /// Total attempts including the first (restart on failure/corruption).
+  int max_attempts = 3;
+  SimDuration monitor_interval = 500 * kMillisecond;
+  /// Control-channel call timeout; transfers legitimately take minutes.
+  SimDuration rpc_timeout = 7200 * kSecond;
+};
+
+struct TransferResult {
+  Bytes bytes = 0;
+  SimDuration elapsed = 0;
+  double mbps = 0;
+  std::uint32_t crc = 0;
+  /// Content identity of the *delivered* file (derived for partial gets).
+  std::uint64_t content_seed = 0;
+  /// Content identity of the *source* file (same as content_seed for
+  /// full-file transfers; lets striped retrievals reassemble).
+  std::uint64_t source_seed = 0;
+  int attempts = 1;
+  int streams = 1;
+  std::int64_t retransmitted_segments = 0;  // summed over data streams
+  TimeSeries rate_series;                   // sampled instantaneous Mbit/s
+};
+
+class FtpClient {
+ public:
+  using Done = std::function<void(Result<TransferResult>)>;
+
+  FtpClient(net::TcpStack& stack, const security::CertificateAuthority& ca,
+            security::Certificate credential);
+  ~FtpClient();
+
+  FtpClient(const FtpClient&) = delete;
+  FtpClient& operator=(const FtpClient&) = delete;
+
+  /// Retrieves `remote_path` from the server. When `pool` is non-null the
+  /// file is written there as `local_path`; a null pool discards payload
+  /// (pure network benchmarking, like the paper's extended_get client).
+  void get(net::NodeId server, net::Port control_port,
+           const std::string& remote_path, const std::string& local_path,
+           storage::DiskPool* pool, const TransferOptions& options,
+           Done done);
+
+  /// Stores the local file `local_path` (from `pool`) as `remote_path`.
+  void put(net::NodeId server, net::Port control_port,
+           storage::DiskPool& pool, const std::string& local_path,
+           const std::string& remote_path, const TransferOptions& options,
+           Done done);
+
+  /// Asks `source` to push `path` to `dest` (third-party control).
+  void third_party(net::NodeId source, net::Port source_port,
+                   const std::string& path, net::NodeId dest,
+                   net::Port dest_port, const std::string& dest_path,
+                   const TransferOptions& options, Done done);
+
+  void file_size(net::NodeId server, net::Port port, const std::string& path,
+                 std::function<void(Result<Bytes>)> done);
+  void checksum(net::NodeId server, net::Port port, const std::string& path,
+                std::function<void(Result<std::uint32_t>)> done);
+  void remove_remote(net::NodeId server, net::Port port,
+                     const std::string& path,
+                     std::function<void(Status)> done);
+
+ private:
+  struct Transfer;
+
+  std::shared_ptr<Transfer> make_transfer(net::NodeId server, net::Port port,
+                                          const TransferOptions& options,
+                                          Done done);
+  std::unique_ptr<rpc::RpcClient> make_rpc(net::NodeId server, net::Port port,
+                                           SimDuration timeout) const;
+
+  void start_get_attempt(const std::shared_ptr<Transfer>& transfer);
+  void start_put_attempt(const std::shared_ptr<Transfer>& transfer);
+  void open_streams(const std::shared_ptr<Transfer>& transfer,
+                    std::function<void()> when_ready);
+  void finish_get_attempt(const std::shared_ptr<Transfer>& transfer,
+                          Status status, std::span<const std::uint8_t> reply);
+  void finish_put_attempt(const std::shared_ptr<Transfer>& transfer,
+                          Status status, std::span<const std::uint8_t> reply);
+  void retry_or_fail(const std::shared_ptr<Transfer>& transfer,
+                     std::vector<ByteRange> ranges, const Status& cause);
+  void complete(const std::shared_ptr<Transfer>& transfer,
+                Result<TransferResult> result);
+
+  net::TcpStack& stack_;
+  const security::CertificateAuthority& ca_;
+  security::Certificate credential_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace gdmp::gridftp

@@ -1,0 +1,57 @@
+#include "gridftp/protocol.h"
+
+namespace gdmp::gridftp {
+
+void DataHello::encode(rpc::Writer& w) const {
+  w.u64(session_token);
+  w.u16(stream_index);
+}
+
+std::optional<DataHello> DataHello::decode(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kWireSize) return std::nullopt;
+  rpc::Reader r(data.subspan(0, kWireSize));
+  DataHello hello;
+  hello.session_token = r.u64();
+  hello.stream_index = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return hello;
+}
+
+void BlockHeader::encode(rpc::Writer& w) const {
+  w.i64(offset);
+  w.i64(length);
+  w.u64(content_seed);
+}
+
+std::optional<BlockHeader> BlockHeader::decode(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kWireSize) return std::nullopt;
+  rpc::Reader r(data.subspan(0, kWireSize));
+  BlockHeader header;
+  header.offset = r.i64();
+  header.length = r.i64();
+  header.content_seed = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return header;
+}
+
+std::vector<ByteRange> partition_range(ByteRange range, int parts,
+                                       Bytes total_file_size) {
+  std::vector<ByteRange> out;
+  Bytes length = range.length < 0 ? total_file_size - range.offset
+                                  : range.length;
+  if (length <= 0 || parts <= 0) return out;
+  const Bytes base = length / parts;
+  const Bytes extra = length % parts;
+  Bytes cursor = range.offset;
+  for (int i = 0; i < parts; ++i) {
+    const Bytes n = base + (i < extra ? 1 : 0);
+    if (n == 0) continue;  // more parts than bytes
+    out.push_back(ByteRange{cursor, n});
+    cursor += n;
+  }
+  return out;
+}
+
+}  // namespace gdmp::gridftp

@@ -1,0 +1,72 @@
+// GridFTP wire protocol constants and data-channel framing.
+//
+// The control channel reuses the framed, GSI-authenticated RPC transport
+// (rpc/), with method names matching the FTP command set the real server
+// extends: SBUF (buffer negotiation), PASV (data-port allocation), RETR /
+// STOR (with partial-transfer ranges), SIZE, CKSM, DELE, XFER (third-party
+// control). Replies carry ErrorCode in place of FTP numeric codes.
+//
+// Each data-channel connection starts with a 10-byte hello that binds it
+// to its session, then carries a sequence of extended-mode blocks:
+// a 24-byte header (offset, length, content seed) followed by `length`
+// synthetic payload bytes. offset == -1 marks end-of-data for the stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "rpc/serialize.h"
+
+namespace gdmp::gridftp {
+
+/// Default GridFTP control port (as in the real deployment).
+constexpr std::uint16_t kControlPort = 2811;
+
+// Control-channel method names.
+inline constexpr const char* kCmdSetBuffer = "SBUF";
+inline constexpr const char* kCmdPassive = "PASV";
+inline constexpr const char* kCmdRetrieve = "RETR";
+inline constexpr const char* kCmdStore = "STOR";
+inline constexpr const char* kCmdSize = "SIZE";
+inline constexpr const char* kCmdChecksum = "CKSM";
+inline constexpr const char* kCmdDelete = "DELE";
+inline constexpr const char* kCmdTransferTo = "XFER";  // third-party control
+
+/// A byte range of a file. length == -1 means "to end of file".
+struct ByteRange {
+  Bytes offset = 0;
+  Bytes length = -1;
+};
+
+/// Data-channel hello: binds a fresh data connection to a PASV session.
+struct DataHello {
+  std::uint64_t session_token = 0;
+  std::uint16_t stream_index = 0;
+
+  static constexpr std::size_t kWireSize = 10;
+  void encode(rpc::Writer& w) const;
+  static std::optional<DataHello> decode(std::span<const std::uint8_t> data);
+};
+
+/// Extended-block header preceding each payload run on a data stream.
+struct BlockHeader {
+  Bytes offset = 0;  // -1 = end-of-data marker for this stream
+  Bytes length = 0;
+  std::uint64_t content_seed = 0;
+
+  static constexpr std::size_t kWireSize = 24;
+  bool is_eod() const noexcept { return offset < 0; }
+  void encode(rpc::Writer& w) const;
+  static std::optional<BlockHeader> decode(
+      std::span<const std::uint8_t> data);
+};
+
+/// Splits `range` into at most `parts` contiguous subranges of near-equal
+/// size (the pre-partitioned parallel-stream layout; see DESIGN.md).
+std::vector<ByteRange> partition_range(ByteRange range, int parts,
+                                       Bytes total_file_size);
+
+}  // namespace gdmp::gridftp

@@ -1,0 +1,624 @@
+#include "gridftp/server.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "gridftp/client.h"
+
+namespace gdmp::gridftp {
+
+namespace {
+constexpr SimDuration kSessionIdleTimeout = 3600 * kSecond;
+}
+
+struct FtpServer::DataStream {
+  net::TcpConnection::Ptr conn;
+  BlockStreamParser parser;
+  std::vector<std::uint8_t> hello_buffer;
+  bool attached = false;
+  bool closed = false;
+  bool drained_counted = false;  // RETR: this stream finished this request
+};
+
+struct FtpServer::DataSession {
+  std::uint64_t token = 0;
+  net::Port data_port = 0;
+  Bytes buffer = 0;
+  int expected_streams = 1;
+  std::vector<std::shared_ptr<DataStream>> streams;  // index -> stream
+  int attached_count = 0;
+  int closed_count = 0;
+  bool failed = false;
+  bool destroyed = false;
+  sim::EventHandle idle_timer;
+
+  enum class Mode { kIdle, kRetr, kStor } mode = Mode::kIdle;
+
+  struct {
+    bool active = false;
+    std::string path;
+    std::vector<ByteRange> ranges;
+    std::uint64_t seed = 0;
+    Bytes total = 0;
+    std::uint32_t crc = 0;
+    rpc::RpcServer::Respond respond;
+    int drained = 0;
+    bool started = false;
+  } retr;
+
+  struct {
+    bool active = false;
+    std::string path;
+    Bytes total = -1;
+    Bytes reserved = 0;
+    rpc::RpcServer::Respond respond;
+  } stor;
+  RangeSet received;
+  std::uint64_t recv_seed = 0;
+  bool recv_seed_set = false;
+  bool seed_conflict = false;
+  int eod_count = 0;
+};
+
+FtpServer::FtpServer(net::TcpStack& stack, storage::DiskPool& pool,
+                     const security::CertificateAuthority& ca,
+                     security::Certificate credential, FtpServerConfig config)
+    : stack_(stack),
+      pool_(pool),
+      ca_(ca),
+      credential_(credential),
+      config_(config),
+      rpc_(stack, config.control_port, ca, std::move(credential),
+           config.control_tcp),
+      fault_rng_(config.fault_seed) {
+  using namespace std::placeholders;
+  rpc_.register_method(
+      kCmdSetBuffer,
+      [this](const security::GsiContext&, std::uint64_t sid,
+             std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+        handle_sbuf(sid, p, std::move(r));
+      });
+  rpc_.register_method(
+      kCmdPassive,
+      [this](const security::GsiContext&, std::uint64_t sid,
+             std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+        handle_pasv(sid, p, std::move(r));
+      });
+  rpc_.register_method(
+      kCmdRetrieve,
+      [this](const security::GsiContext&, std::uint64_t,
+             std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+        handle_retr(p, std::move(r));
+      });
+  rpc_.register_method(
+      kCmdStore,
+      [this](const security::GsiContext&, std::uint64_t,
+             std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+        handle_stor(p, std::move(r));
+      });
+  rpc_.register_method(
+      kCmdSize, [this](const security::GsiContext&, std::uint64_t,
+                       std::span<const std::uint8_t> p,
+                       rpc::RpcServer::Respond r) {
+        handle_size(p, std::move(r));
+      });
+  rpc_.register_method(
+      kCmdChecksum, [this](const security::GsiContext&, std::uint64_t,
+                           std::span<const std::uint8_t> p,
+                           rpc::RpcServer::Respond r) {
+        handle_cksm(p, std::move(r));
+      });
+  rpc_.register_method(
+      kCmdDelete, [this](const security::GsiContext&, std::uint64_t,
+                         std::span<const std::uint8_t> p,
+                         rpc::RpcServer::Respond r) {
+        handle_dele(p, std::move(r));
+      });
+  rpc_.register_method(
+      kCmdTransferTo, [this](const security::GsiContext&, std::uint64_t,
+                             std::span<const std::uint8_t> p,
+                             rpc::RpcServer::Respond r) {
+        handle_xfer(p, std::move(r));
+      });
+}
+
+FtpServer::~FtpServer() {
+  *alive_ = false;
+  stop();
+  for (auto& [token, session] : sessions_) {
+    stack_.close_listener(session->data_port);
+    stack_.simulator().cancel(session->idle_timer);
+  }
+}
+
+Status FtpServer::start() { return rpc_.start(); }
+
+void FtpServer::stop() { rpc_.stop(); }
+
+void FtpServer::handle_sbuf(std::uint64_t session_id,
+                            std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const Bytes buffer = r.i64();
+  if (!r.ok() || buffer <= 0 || buffer > config_.max_data_buffer) {
+    respond(make_error(ErrorCode::kInvalidArgument,
+                       "SBUF out of range: " + std::to_string(buffer)),
+            {});
+    return;
+  }
+  control_state_[session_id].data_buffer = buffer;
+  respond(Status::ok(), {});
+}
+
+void FtpServer::handle_pasv(std::uint64_t session_id,
+                            std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const int streams = static_cast<int>(r.u32());
+  if (!r.ok() || streams < 1 || streams > config_.max_parallel_streams) {
+    respond(make_error(ErrorCode::kInvalidArgument,
+                       "bad stream count: " + std::to_string(streams)),
+            {});
+    return;
+  }
+  auto session = std::make_shared<DataSession>();
+  session->token = next_token_++;
+  session->data_port = stack_.allocate_port();
+  session->expected_streams = streams;
+  session->streams.resize(static_cast<std::size_t>(streams));
+  const auto cs = control_state_.find(session_id);
+  session->buffer = cs != control_state_.end()
+                        ? cs->second.data_buffer
+                        : config_.default_data_buffer;
+
+  net::TcpConfig data_tcp;
+  data_tcp.send_buffer = session->buffer;
+  data_tcp.recv_buffer = session->buffer;
+  const Status listening = stack_.listen(
+      session->data_port, data_tcp,
+      [this, session](net::TcpConnection::Ptr conn) {
+        on_data_connection(session, std::move(conn));
+      });
+  if (!listening.is_ok()) {
+    respond(listening, {});
+    return;
+  }
+  std::weak_ptr<bool> alive = alive_;
+  std::weak_ptr<DataSession> weak_session = session;
+  session->idle_timer = stack_.simulator().schedule(
+      kSessionIdleTimeout, [this, alive, weak_session] {
+        if (alive.expired()) return;
+        if (auto s = weak_session.lock(); s && !s->destroyed) {
+          fail_session(s, make_error(ErrorCode::kTimedOut,
+                                     "data session idle timeout"));
+        }
+      });
+  sessions_.emplace(session->token, session);
+
+  rpc::Writer w;
+  w.u16(session->data_port);
+  w.u64(session->token);
+  respond(Status::ok(), w.take());
+}
+
+void FtpServer::on_data_connection(const std::shared_ptr<DataSession>& session,
+                                   net::TcpConnection::Ptr conn) {
+  // The stream is anonymous until its hello arrives.
+  auto pending = std::make_shared<std::vector<std::uint8_t>>();
+  std::weak_ptr<bool> alive = alive_;
+  auto raw = conn.get();
+  raw->on_data = [this, alive, session, conn,
+                  pending](std::span<const std::uint8_t> data) {
+    if (alive.expired()) return;
+    pending->insert(pending->end(), data.begin(), data.end());
+    if (pending->size() < DataHello::kWireSize) return;
+    const auto hello = DataHello::decode(*pending);
+    if (!hello || hello->session_token != session->token ||
+        hello->stream_index >= session->streams.size()) {
+      conn->abort();
+      return;
+    }
+    std::vector<std::uint8_t> leftover(
+        pending->begin() + DataHello::kWireSize, pending->end());
+    attach_stream(session, *hello, conn);
+    if (!leftover.empty() &&
+        session->streams[hello->stream_index]) {
+      session->streams[hello->stream_index]->parser.feed_data(leftover);
+    }
+  };
+  raw->on_synthetic_data = [conn](Bytes) {
+    conn->abort();  // synthetic bytes before hello: protocol violation
+  };
+}
+
+void FtpServer::attach_stream(const std::shared_ptr<DataSession>& session,
+                              const DataHello& hello,
+                              net::TcpConnection::Ptr conn) {
+  const std::size_t index = hello.stream_index;
+  if (session->streams[index]) {
+    conn->abort();  // duplicate stream index
+    return;
+  }
+  auto stream = std::make_shared<DataStream>();
+  stream->conn = conn;
+  stream->attached = true;
+  session->streams[index] = stream;
+  ++session->attached_count;
+
+  std::weak_ptr<bool> alive = alive_;
+  // STOR receive path: parser callbacks update the session's range set.
+  stream->parser.on_payload = [this, session, stream](
+                                  const BlockHeader& header, Bytes fresh) {
+    const Bytes pos = header.offset + header.length -
+                      (stream->parser.payload_remaining() + fresh);
+    session->received.add(pos, fresh);
+    stats_.bytes_received += fresh;
+  };
+  stream->parser.on_block_begin = [session](const BlockHeader& header) {
+    if (!session->recv_seed_set) {
+      session->recv_seed = header.content_seed;
+      session->recv_seed_set = true;
+    } else if (session->recv_seed != header.content_seed) {
+      session->seed_conflict = true;
+    }
+  };
+  stream->parser.on_eod = [this, session] {
+    ++session->eod_count;
+    check_stor_complete(session);
+  };
+  stream->parser.on_error = [this, alive, session](const Status& status) {
+    if (alive.expired()) return;
+    fail_session(session, status);
+  };
+
+  conn->on_data = [stream](std::span<const std::uint8_t> data) {
+    stream->parser.feed_data(data);
+  };
+  conn->on_synthetic_data = [stream](Bytes n) {
+    stream->parser.feed_synthetic(n);
+  };
+  conn->on_closed = [this, alive, session, stream](const Status& status) {
+    if (alive.expired()) return;
+    stream->closed = true;
+    ++session->closed_count;
+    if (session->retr.active || session->stor.active) {
+      fail_session(session,
+                   status.is_ok()
+                       ? make_error(ErrorCode::kUnavailable,
+                                    "data stream closed mid-transfer")
+                       : status);
+      return;
+    }
+    if (session->closed_count >= session->attached_count &&
+        session->attached_count == session->expected_streams) {
+      destroy_session(session);
+    }
+  };
+
+  maybe_start_retr(session);
+  check_stor_complete(session);
+}
+
+void FtpServer::handle_retr(std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const std::uint64_t token = r.u64();
+  const std::string path = r.str();
+  const std::uint32_t n_ranges = r.u32();
+  std::vector<ByteRange> ranges;
+  for (std::uint32_t i = 0; i < n_ranges && r.ok(); ++i) {
+    ByteRange range;
+    range.offset = r.i64();
+    range.length = r.i64();
+    ranges.push_back(range);
+  }
+  if (!r.ok() || ranges.empty()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed RETR"), {});
+    return;
+  }
+  const auto sit = sessions_.find(token);
+  if (sit == sessions_.end()) {
+    respond(make_error(ErrorCode::kNotFound, "no such data session"), {});
+    return;
+  }
+  auto session = sit->second;
+  if (session->retr.active || session->stor.active) {
+    respond(make_error(ErrorCode::kFailedPrecondition,
+                       "transfer already in progress"),
+            {});
+    return;
+  }
+  auto file = pool_.lookup(path);
+  if (!file.is_ok()) {
+    respond(make_error(ErrorCode::kNotFound, "file not on disk: " + path),
+            {});
+    return;
+  }
+  // Resolve and validate ranges against the current file size.
+  Bytes total = 0;
+  Crc32 crc;
+  for (ByteRange& range : ranges) {
+    if (range.length < 0) range.length = file->size - range.offset;
+    if (range.offset < 0 || range.length < 0 ||
+        range.offset + range.length > file->size) {
+      respond(make_error(ErrorCode::kInvalidArgument, "range out of bounds"),
+              {});
+      return;
+    }
+    total += range.length;
+    crc.update_synthetic(file->content_seed, range.offset, range.length);
+  }
+  (void)pool_.pin(path);  // transfers must not lose their source to eviction
+  session->mode = DataSession::Mode::kRetr;
+  session->retr.active = true;
+  session->retr.started = false;
+  session->retr.path = path;
+  session->retr.ranges = std::move(ranges);
+  session->retr.seed = file->content_seed;
+  session->retr.total = total;
+  session->retr.crc = crc.value();
+  session->retr.respond = std::move(respond);
+  session->retr.drained = 0;
+  for (auto& stream : session->streams) {
+    if (stream) stream->drained_counted = false;
+  }
+  ++stats_.retrievals;
+  maybe_start_retr(session);
+}
+
+void FtpServer::maybe_start_retr(const std::shared_ptr<DataSession>& session) {
+  if (!session->retr.active || session->retr.started) return;
+  if (session->attached_count < session->expected_streams) return;
+  session->retr.started = true;
+
+  // One requested range is pre-partitioned across the streams; a restart's
+  // multiple ranges go round-robin.
+  std::vector<std::vector<ByteRange>> per_stream(
+      static_cast<std::size_t>(session->expected_streams));
+  if (session->retr.ranges.size() == 1) {
+    auto parts = partition_range(session->retr.ranges.front(),
+                                 session->expected_streams,
+                                 /*total_file_size=*/0);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      per_stream[i % per_stream.size()].push_back(parts[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < session->retr.ranges.size(); ++i) {
+      per_stream[i % per_stream.size()].push_back(session->retr.ranges[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < session->streams.size(); ++i) {
+    auto& stream = session->streams[i];
+    Bytes stream_bytes = 0;
+    for (const ByteRange& range : per_stream[i]) {
+      BlockHeader header;
+      header.offset = range.offset;
+      header.length = range.length;
+      header.content_seed = session->retr.seed;
+      if (config_.corrupt_probability > 0 &&
+          fault_rng_.chance(config_.corrupt_probability)) {
+        header.content_seed ^= 0xbadc0ffee0ddf00dULL;
+        ++stats_.blocks_corrupted;
+      }
+      rpc::Writer w;
+      header.encode(w);
+      stream->conn->send(w.take());
+      stream->conn->send_synthetic(range.length);
+      stream_bytes += range.length;
+      stats_.bytes_sent += range.length;
+    }
+    // End-of-data marker.
+    BlockHeader eod;
+    eod.offset = -1;
+    rpc::Writer w;
+    eod.encode(w);
+    stream->conn->send(w.take());
+
+    if (stream_bytes > 0) {
+      pool_.disk().read(stream_bytes, [] {});  // read-ahead, pipelined
+    }
+    std::weak_ptr<bool> alive = alive_;
+    auto stream_copy = stream;
+    stream->conn->on_send_drained = [this, alive, session, stream_copy] {
+      if (alive.expired()) return;
+      if (stream_copy->drained_counted || !session->retr.active) return;
+      stream_copy->drained_counted = true;
+      finish_retr_stream(session);
+    };
+  }
+}
+
+void FtpServer::finish_retr_stream(
+    const std::shared_ptr<DataSession>& session) {
+  ++session->retr.drained;
+  if (session->retr.drained < session->expected_streams) return;
+  session->retr.active = false;
+  (void)pool_.unpin(session->retr.path);
+  rpc::Writer w;
+  w.i64(session->retr.total);
+  w.u32(session->retr.crc);
+  auto respond = std::move(session->retr.respond);
+  session->retr.respond = nullptr;
+  respond(Status::ok(), w.take());
+}
+
+void FtpServer::handle_stor(std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const std::uint64_t token = r.u64();
+  const std::string path = r.str();
+  const Bytes total = r.i64();
+  if (!r.ok() || total < 0) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed STOR"), {});
+    return;
+  }
+  const auto sit = sessions_.find(token);
+  if (sit == sessions_.end()) {
+    respond(make_error(ErrorCode::kNotFound, "no such data session"), {});
+    return;
+  }
+  auto session = sit->second;
+  if (session->retr.active || session->stor.active) {
+    respond(make_error(ErrorCode::kFailedPrecondition,
+                       "transfer already in progress"),
+            {});
+    return;
+  }
+  if (const Status reserved = pool_.reserve(total); !reserved.is_ok()) {
+    respond(reserved, {});
+    return;
+  }
+  session->mode = DataSession::Mode::kStor;
+  session->stor.active = true;
+  session->stor.path = path;
+  session->stor.total = total;
+  session->stor.reserved = total;
+  session->stor.respond = std::move(respond);
+  ++stats_.stores;
+  check_stor_complete(session);
+}
+
+void FtpServer::check_stor_complete(
+    const std::shared_ptr<DataSession>& session) {
+  if (!session->stor.active) return;
+  if (session->eod_count < session->expected_streams) return;
+  if (!session->received.covers(0, session->stor.total)) {
+    fail_session(session, make_error(ErrorCode::kAborted,
+                                     "incomplete STOR payload"));
+    return;
+  }
+  session->stor.active = false;
+  pool_.release_reservation(session->stor.reserved);
+  session->stor.reserved = 0;
+  auto respond = std::move(session->stor.respond);
+  session->stor.respond = nullptr;
+  if (session->seed_conflict) {
+    respond(make_error(ErrorCode::kCorrupted,
+                       "inconsistent block content in STOR"),
+            {});
+    return;
+  }
+  auto added =
+      pool_.add_file(session->stor.path, session->stor.total,
+                     session->recv_seed, stack_.simulator().now());
+  if (!added.is_ok()) {
+    respond(added.status(), {});
+    return;
+  }
+  pool_.disk().write(session->stor.total, [] {});
+  rpc::Writer w;
+  w.u32(crc32_synthetic(session->recv_seed, 0, session->stor.total));
+  respond(Status::ok(), w.take());
+}
+
+void FtpServer::handle_size(std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const std::string path = r.str();
+  auto file = pool_.peek(path);
+  if (!file.is_ok()) {
+    respond(file.status(), {});
+    return;
+  }
+  rpc::Writer w;
+  w.i64(file->size);
+  respond(Status::ok(), w.take());
+}
+
+void FtpServer::handle_cksm(std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const std::string path = r.str();
+  auto file = pool_.peek(path);
+  if (!file.is_ok()) {
+    respond(file.status(), {});
+    return;
+  }
+  rpc::Writer w;
+  w.u32(file->crc());
+  respond(Status::ok(), w.take());
+}
+
+void FtpServer::handle_dele(std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const std::string path = r.str();
+  respond(pool_.remove(path), {});
+}
+
+void FtpServer::handle_xfer(std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const std::string path = r.str();
+  const auto dest_node = static_cast<net::NodeId>(r.u32());
+  const auto dest_port = static_cast<net::Port>(r.u16());
+  const std::string dest_path = r.str();
+  const int streams = static_cast<int>(r.u32());
+  const Bytes buffer = r.i64();
+  if (!r.ok()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed XFER"), {});
+    return;
+  }
+  ++stats_.third_party;
+  // Third-party control: this server acts as the sending party of a
+  // server-to-server transfer that the remote client orchestrates.
+  auto client = std::make_shared<FtpClient>(stack_, ca_, credential_);
+  TransferOptions options;
+  options.parallel_streams = streams;
+  options.tcp_buffer = buffer;
+  client->put(dest_node, dest_port, pool_, path, dest_path, options,
+              [client, respond = std::move(respond)](
+                  Result<TransferResult> result) {
+                if (!result.is_ok()) {
+                  respond(result.status(), {});
+                  return;
+                }
+                rpc::Writer w;
+                w.i64(result->bytes);
+                w.u32(result->crc);
+                respond(Status::ok(), w.take());
+              });
+}
+
+void FtpServer::fail_session(const std::shared_ptr<DataSession>& session,
+                             const Status& status) {
+  if (session->destroyed) return;
+  session->failed = true;
+  if (session->retr.active) {
+    session->retr.active = false;
+    (void)pool_.unpin(session->retr.path);
+    auto respond = std::move(session->retr.respond);
+    session->retr.respond = nullptr;
+    if (respond) respond(status, {});
+  }
+  if (session->stor.active) {
+    session->stor.active = false;
+    pool_.release_reservation(session->stor.reserved);
+    session->stor.reserved = 0;
+    auto respond = std::move(session->stor.respond);
+    session->stor.respond = nullptr;
+    if (respond) respond(status, {});
+  }
+  destroy_session(session);
+}
+
+void FtpServer::destroy_session(const std::shared_ptr<DataSession>& session) {
+  if (session->destroyed) return;
+  session->destroyed = true;
+  stack_.simulator().cancel(session->idle_timer);
+  stack_.close_listener(session->data_port);
+  for (auto& stream : session->streams) {
+    if (stream && stream->conn && !stream->closed) {
+      stream->conn->on_closed = nullptr;
+      stream->conn->on_data = nullptr;
+      stream->conn->on_synthetic_data = nullptr;
+      stream->conn->on_send_drained = nullptr;
+      stream->conn->close();
+    }
+  }
+  sessions_.erase(session->token);
+}
+
+}  // namespace gdmp::gridftp

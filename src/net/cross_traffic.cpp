@@ -1,0 +1,56 @@
+#include "net/cross_traffic.h"
+
+namespace gdmp::net {
+
+CbrSource::CbrSource(Network& network, Node& src, Node& dst, CbrConfig config,
+                     std::uint64_t seed)
+    : network_(network),
+      src_(src),
+      dst_(dst.id()),
+      config_(config),
+      rng_(seed) {}
+
+CbrSource::~CbrSource() { stop(); }
+
+void CbrSource::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void CbrSource::stop() {
+  if (!running_) return;
+  running_ = false;
+  network_.simulator().cancel(pending_);
+  pending_ = sim::EventHandle();
+}
+
+void CbrSource::arm() {
+  const double mean_gap_s =
+      static_cast<double>(config_.packet_size) * 8.0 / config_.rate;
+  double gap_s = mean_gap_s;
+  if (config_.jitter > 0) {
+    gap_s *= rng_.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+  }
+  std::weak_ptr<bool> alive = alive_;
+  pending_ = network_.simulator().schedule(from_seconds(gap_s), [this, alive] {
+    if (alive.expired() || !running_) return;
+    Packet packet;
+    packet.src = src_.id();
+    packet.dst = dst_;
+    packet.dst_port = config_.port;
+    packet.protocol = Protocol::kDatagram;
+    packet.payload_len = config_.packet_size - Packet::kHeaderBytes;
+    bytes_offered_ += config_.packet_size;
+    src_.send(packet);
+    arm();
+  });
+}
+
+DatagramSink::DatagramSink(Node& node) {
+  node.set_protocol_handler(Protocol::kDatagram, [this](const Packet& p) {
+    bytes_received_ += p.wire_size();
+  });
+}
+
+}  // namespace gdmp::net

@@ -1,0 +1,40 @@
+#include "net/link.h"
+
+#include <utility>
+
+namespace gdmp::net {
+
+Link::Link(sim::Simulator& simulator, LinkConfig config, Deliver deliver)
+    : simulator_(simulator),
+      config_(config),
+      deliver_(std::move(deliver)) {}
+
+bool Link::enqueue(const Packet& packet) {
+  const Bytes size = packet.wire_size();
+  if (backlog_ + size > config_.queue_capacity) {
+    ++stats_.packets_dropped;
+    stats_.bytes_dropped += size;
+    return false;
+  }
+  backlog_ += size;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += size;
+
+  const SimTime start = std::max(busy_until_, simulator_.now());
+  const SimTime done = start + transmission_delay(size, config_.bandwidth);
+  busy_until_ = done;
+
+  // The packet stops occupying queue space once fully serialized, and
+  // arrives one propagation delay later.
+  simulator_.schedule_at(done, [this, size] { backlog_ -= size; });
+  simulator_.schedule_at(done + config_.propagation,
+                         [this, packet] { deliver_(packet); });
+  return true;
+}
+
+SimDuration Link::queueing_delay() const noexcept {
+  const SimTime now = simulator_.now();
+  return busy_until_ > now ? busy_until_ - now : 0;
+}
+
+}  // namespace gdmp::net

@@ -1,0 +1,61 @@
+// Unidirectional point-to-point link with a drop-tail queue.
+//
+// The link serializes packets at `bandwidth` bits/s, then delays them by
+// `propagation`. Packets arriving while `queue_capacity` bytes are already
+// queued or in transmission are dropped — this drop-tail bottleneck is what
+// makes tuned parallel TCP streams interact exactly as in the paper's
+// CERN–ANL measurements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace gdmp::net {
+
+struct LinkConfig {
+  BitsPerSec bandwidth = 45 * kMbps;
+  SimDuration propagation = 62 * kMillisecond + 500 * kMicrosecond;
+  Bytes queue_capacity = 512 * kKiB;  // router buffer on this interface
+};
+
+struct LinkStats {
+  std::int64_t packets_sent = 0;
+  std::int64_t packets_dropped = 0;
+  Bytes bytes_sent = 0;    // wire bytes serialized
+  Bytes bytes_dropped = 0;
+};
+
+class Link {
+ public:
+  using Deliver = std::function<void(const Packet&)>;
+
+  Link(sim::Simulator& simulator, LinkConfig config, Deliver deliver);
+
+  /// Accepts a packet for transmission; drops it if the queue is full.
+  /// Returns false on drop.
+  bool enqueue(const Packet& packet);
+
+  const LinkConfig& config() const noexcept { return config_; }
+  const LinkStats& stats() const noexcept { return stats_; }
+
+  /// Bytes currently queued or being serialized.
+  Bytes backlog() const noexcept { return backlog_; }
+
+  /// Current utilization estimate: busy time fraction is not tracked; this
+  /// returns the queueing delay a newly arriving packet would see.
+  SimDuration queueing_delay() const noexcept;
+
+ private:
+  sim::Simulator& simulator_;
+  LinkConfig config_;
+  Deliver deliver_;
+  LinkStats stats_;
+  Bytes backlog_ = 0;
+  SimTime busy_until_ = 0;  // when the transmitter becomes idle
+};
+
+}  // namespace gdmp::net

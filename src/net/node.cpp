@@ -1,0 +1,35 @@
+#include "net/node.h"
+
+#include <cassert>
+
+namespace gdmp::net {
+
+void Node::set_protocol_handler(Protocol protocol, PacketHandler handler) {
+  handlers_[static_cast<std::size_t>(protocol)] = std::move(handler);
+}
+
+void Node::receive(const Packet& packet) {
+  if (packet.dst != id_) {
+    send(packet);  // transit traffic: forward along the routing table
+    return;
+  }
+  auto& handler = handlers_[static_cast<std::size_t>(packet.protocol)];
+  if (handler) handler(packet);
+}
+
+bool Node::send(const Packet& packet) {
+  assert(packet.dst != kInvalidNode);
+  if (packet.dst == id_) {
+    receive(packet);  // loopback
+    return true;
+  }
+  if (packet.dst < 0 ||
+      static_cast<std::size_t>(packet.dst) >= next_hop_interface_.size()) {
+    return false;
+  }
+  const std::int32_t iface = next_hop_interface_[packet.dst];
+  if (iface < 0) return false;
+  return interfaces_[iface].link->enqueue(packet);
+}
+
+}  // namespace gdmp::net

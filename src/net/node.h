@@ -1,0 +1,57 @@
+// Network node: host or router.
+//
+// A node owns its outgoing links and a static routing table (computed by
+// Network after topology construction). Packets addressed to the node are
+// handed to the per-protocol handler (the TCP stack, or a datagram sink);
+// packets addressed elsewhere are forwarded along the routing table —
+// routers are simply nodes with no protocol handlers.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace gdmp::net {
+
+class Node {
+ public:
+  using PacketHandler = std::function<void(const Packet&)>;
+
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  NodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Registers the handler invoked for packets addressed to this node.
+  void set_protocol_handler(Protocol protocol, PacketHandler handler);
+
+  /// Entry point for packets arriving from a link (or injected locally).
+  /// Forwards or delivers. Silently discards packets with no route or no
+  /// handler (like a real network).
+  void receive(const Packet& packet);
+
+  /// Sends a packet originating at this node. Returns false if there is no
+  /// route or the first-hop queue dropped it.
+  bool send(const Packet& packet);
+
+ private:
+  friend class Network;
+
+  struct Interface {
+    NodeId peer = kInvalidNode;
+    std::unique_ptr<Link> link;
+  };
+
+  NodeId id_;
+  std::string name_;
+  std::vector<Interface> interfaces_;
+  std::vector<std::int32_t> next_hop_interface_;  // indexed by destination id
+  std::array<PacketHandler, 2> handlers_{};
+};
+
+}  // namespace gdmp::net

@@ -1,0 +1,73 @@
+// Network packet model.
+//
+// Packets are small value types. Control-plane traffic (RPC, FTP control
+// channel, GSI handshakes) carries real serialized bytes in `data`; bulk
+// data-channel traffic is *synthetic* — only `payload_len` is tracked, the
+// content being a deterministic stream identified at the application layer
+// (see Crc32::update_synthetic). Links charge both kinds identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gdmp::net {
+
+using NodeId = std::int32_t;
+using Port = std::uint16_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// TCP-style header flags.
+enum PacketFlags : std::uint8_t {
+  kFlagSyn = 1 << 0,
+  kFlagAck = 1 << 1,
+  kFlagFin = 1 << 2,
+  kFlagRst = 1 << 3,
+};
+
+/// Protocol discriminator for demultiplexing at the destination node.
+enum class Protocol : std::uint8_t {
+  kTcp = 0,
+  kDatagram = 1,  // unreliable; used by cross-traffic sources
+};
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Port src_port = 0;
+  Port dst_port = 0;
+  Protocol protocol = Protocol::kTcp;
+  std::uint8_t flags = 0;
+
+  std::int64_t seq = 0;          // first stream byte carried
+  std::int64_t ack = 0;          // cumulative ack (next expected byte)
+  Bytes payload_len = 0;         // stream bytes carried
+  Bytes advertised_window = 0;   // receiver window, bytes
+
+  /// SACK option (RFC 2018): up to 4 [begin, end) ranges the receiver
+  /// holds above the cumulative ack. Standard on year-2001 stacks and
+  /// essential for recovering the large loss bursts that tuned parallel
+  /// streams inflict on a drop-tail bottleneck.
+  std::array<std::pair<std::int64_t, std::int64_t>, 4> sack{};
+  std::uint8_t sack_count = 0;
+
+  /// Real payload bytes, when the carried stream range is real data.
+  /// Null for synthetic bulk ranges. When non-null, size() == payload_len.
+  std::shared_ptr<const std::vector<std::uint8_t>> data;
+
+  bool has_flag(PacketFlags f) const noexcept { return (flags & f) != 0; }
+
+  /// Size charged on the wire: payload, a 40-byte TCP/IP header, and
+  /// 8 bytes per SACK block.
+  Bytes wire_size() const noexcept {
+    return payload_len + kHeaderBytes + 8 * sack_count;
+  }
+
+  static constexpr Bytes kHeaderBytes = 40;
+};
+
+}  // namespace gdmp::net

@@ -1,0 +1,97 @@
+#include "objrep/selection.h"
+
+#include <algorithm>
+
+namespace gdmp::objrep {
+
+std::vector<ObjectId> select_objects(const objstore::EventModel& model,
+                                     const SelectionConfig& config,
+                                     Rng& rng) {
+  const std::int64_t n = model.event_count();
+  auto target = static_cast<std::int64_t>(
+      static_cast<double>(n) * config.fraction + 0.5);
+  target = std::clamp<std::int64_t>(target, 0, n);
+  std::set<std::int64_t> events;
+  if (config.clustering > 0.0) {
+    // Clustered draw: pick run starts and take contiguous stretches whose
+    // length grows with the clustering parameter.
+    const auto run_length = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(config.clustering * 256.0));
+    while (static_cast<std::int64_t>(events.size()) < target) {
+      const std::int64_t start = rng.uniform_int(0, n - 1);
+      for (std::int64_t e = start;
+           e < std::min(n, start + run_length) &&
+           static_cast<std::int64_t>(events.size()) < target;
+           ++e) {
+        events.insert(e);
+      }
+    }
+  } else {
+    while (static_cast<std::int64_t>(events.size()) < target) {
+      events.insert(rng.uniform_int(0, n - 1));
+    }
+  }
+  std::vector<ObjectId> out;
+  out.reserve(events.size());
+  for (const std::int64_t event : events) {
+    out.push_back(objstore::make_object_id(config.tier, event));
+  }
+  return out;
+}
+
+std::vector<std::vector<ObjectId>> analysis_funnel(
+    const objstore::EventModel& model, const std::vector<FunnelStep>& steps,
+    Rng& rng) {
+  std::vector<std::vector<ObjectId>> out;
+  std::vector<std::int64_t> survivors;
+  for (std::int64_t e = 0; e < model.event_count(); ++e) {
+    survivors.push_back(e);
+  }
+  for (const FunnelStep& step : steps) {
+    // Keep a random subset of the current survivors.
+    std::vector<std::int64_t> next;
+    for (const std::int64_t event : survivors) {
+      if (rng.chance(step.keep_fraction)) next.push_back(event);
+    }
+    if (next.empty() && !survivors.empty()) {
+      next.push_back(survivors[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(survivors.size()) - 1))]);
+    }
+    survivors = std::move(next);
+    std::vector<ObjectId> objects;
+    objects.reserve(survivors.size());
+    for (const std::int64_t event : survivors) {
+      objects.push_back(objstore::make_object_id(step.tier, event));
+    }
+    out.push_back(std::move(objects));
+  }
+  return out;
+}
+
+FileCover files_covering(const objstore::ObjectFileCatalog& catalog,
+                         const objstore::EventModel& model,
+                         const std::vector<ObjectId>& objects) {
+  FileCover cover;
+  std::set<std::string> files;
+  for (const ObjectId id : objects) {
+    for (const objstore::ObjectLocation& location : catalog.locate(id)) {
+      files.insert(location.file);
+    }
+  }
+  for (const std::string& file : files) {
+    if (auto payload = catalog.file_payload(file, model); payload.is_ok()) {
+      cover.total_bytes += *payload;
+    }
+    cover.files.push_back(file);
+  }
+  return cover;
+}
+
+Bytes selection_bytes(const objstore::EventModel& model,
+                      const std::vector<ObjectId>& objects) {
+  Bytes total = 0;
+  for (const ObjectId id : objects) total += model.object_size(id);
+  return total;
+}
+
+}  // namespace gdmp::objrep

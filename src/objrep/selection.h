@@ -1,0 +1,62 @@
+// Physics-analysis selection workloads (§5.1).
+//
+// An analysis effort starts from ~all events and narrows in steps: each
+// step keeps a fraction of the previous event set and needs a larger
+// object tier for the survivors ("examine smaller and smaller sets (10^9
+// down to 10^4) of larger and larger (100 byte to 10 MB) objects").
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "objstore/object_file_catalog.h"
+#include "objstore/object_model.h"
+
+namespace gdmp::objrep {
+
+struct SelectionConfig {
+  /// Fraction of all events selected (the paper's worked example is
+  /// 10^6 of 10^9 = 1e-3).
+  double fraction = 1e-3;
+  objstore::Tier tier = objstore::Tier::kAod;
+  /// 0 = uniform sparse selection (fresh physics cuts are uncorrelated
+  /// with storage order); towards 1 = increasingly clustered (the "smart
+  /// initial placement" best case).
+  double clustering = 0.0;
+};
+
+/// Draws the selected events and returns their `tier` objects, sorted by
+/// event number.
+std::vector<ObjectId> select_objects(const objstore::EventModel& model,
+                                     const SelectionConfig& config, Rng& rng);
+
+/// One step of the analysis funnel.
+struct FunnelStep {
+  double keep_fraction;  // of the previous step's events
+  objstore::Tier tier;
+};
+
+/// Runs the funnel: step 0 selects keep_fraction of all events; each later
+/// step keeps a random subset of the previous survivors and returns their
+/// (larger) tier objects.
+std::vector<std::vector<ObjectId>> analysis_funnel(
+    const objstore::EventModel& model, const std::vector<FunnelStep>& steps,
+    Rng& rng);
+
+/// The files that hold at least one selected object — what *file*
+/// replication would have to move — plus their total size.
+struct FileCover {
+  std::vector<std::string> files;
+  Bytes total_bytes = 0;
+};
+FileCover files_covering(const objstore::ObjectFileCatalog& catalog,
+                         const objstore::EventModel& model,
+                         const std::vector<ObjectId>& objects);
+
+/// Total payload of a selection (what object replication moves, before
+/// packing overheads).
+Bytes selection_bytes(const objstore::EventModel& model,
+                      const std::vector<ObjectId>& objects);
+
+}  // namespace gdmp::objrep

@@ -1,0 +1,148 @@
+#include "objstore/object_file_catalog.h"
+
+#include <algorithm>
+
+namespace gdmp::objstore {
+
+Status ObjectFileCatalog::add_range_file(const std::string& file, Tier tier,
+                                         std::int64_t event_lo,
+                                         std::int64_t event_hi,
+                                         const EventModel& model) {
+  if (event_lo < 0 || event_hi <= event_lo) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bad event range for " + file);
+  }
+  if (has_file(file)) {
+    return make_error(ErrorCode::kAlreadyExists, "file registered: " + file);
+  }
+  range_files_.emplace(
+      file, RangeFile{tier, event_lo, event_hi, model.tier(tier).object_size});
+  tier_ranges_[static_cast<std::size_t>(tier)].emplace(event_lo, file);
+  return Status::ok();
+}
+
+Status ObjectFileCatalog::add_packed_file(const std::string& file,
+                                          std::vector<ObjectId> objects,
+                                          const EventModel& model) {
+  if (has_file(file)) {
+    return make_error(ErrorCode::kAlreadyExists, "file registered: " + file);
+  }
+  PackedFile packed;
+  packed.offsets.reserve(objects.size());
+  Bytes offset = 0;
+  for (const ObjectId id : objects) {
+    packed_index_[id].push_back(file);
+    packed.offsets.push_back(offset);
+    offset += model.object_size(id);
+  }
+  packed.objects = std::move(objects);
+  packed_files_.emplace(file, std::move(packed));
+  return Status::ok();
+}
+
+Status ObjectFileCatalog::remove_file(const std::string& file) {
+  if (const auto it = range_files_.find(file); it != range_files_.end()) {
+    auto& index = tier_ranges_[static_cast<std::size_t>(it->second.tier)];
+    for (auto rit = index.lower_bound(it->second.event_lo);
+         rit != index.end() && rit->first == it->second.event_lo; ++rit) {
+      if (rit->second == file) {
+        index.erase(rit);
+        break;
+      }
+    }
+    range_files_.erase(it);
+    return Status::ok();
+  }
+  if (const auto it = packed_files_.find(file); it != packed_files_.end()) {
+    for (const ObjectId id : it->second.objects) {
+      auto& files = packed_index_[id];
+      files.erase(std::remove(files.begin(), files.end(), file), files.end());
+      if (files.empty()) packed_index_.erase(id);
+    }
+    packed_files_.erase(it);
+    return Status::ok();
+  }
+  return make_error(ErrorCode::kNotFound, "file not registered: " + file);
+}
+
+bool ObjectFileCatalog::has_file(const std::string& file) const noexcept {
+  return range_files_.contains(file) || packed_files_.contains(file);
+}
+
+std::vector<ObjectLocation> ObjectFileCatalog::locate(ObjectId id) const {
+  std::vector<ObjectLocation> out;
+  const Tier tier = tier_of(id);
+  const std::int64_t event = event_of(id);
+  const auto& index = tier_ranges_[static_cast<std::size_t>(tier)];
+  // Range files are disjoint per tier in practice but the lookup tolerates
+  // overlap: scan intervals starting at or before `event`.
+  for (auto it = index.upper_bound(event); it != index.begin();) {
+    --it;
+    const RangeFile& range = range_files_.at(it->second);
+    if (event < range.event_lo) continue;
+    if (event >= range.event_hi) break;  // sorted by lo; earlier can't match
+    out.push_back(ObjectLocation{
+        it->second, (event - range.event_lo) * range.object_size});
+  }
+  if (const auto pit = packed_index_.find(id); pit != packed_index_.end()) {
+    for (const std::string& file : pit->second) {
+      const PackedFile& packed = packed_files_.at(file);
+      const auto oit =
+          std::find(packed.objects.begin(), packed.objects.end(), id);
+      const Bytes offset =
+          oit == packed.objects.end()
+              ? 0
+              : packed.offsets[static_cast<std::size_t>(
+                    oit - packed.objects.begin())];
+      out.push_back(ObjectLocation{file, offset});
+    }
+  }
+  return out;
+}
+
+bool ObjectFileCatalog::contains(ObjectId id) const {
+  return !locate(id).empty();
+}
+
+Result<std::vector<ObjectId>> ObjectFileCatalog::objects_in(
+    const std::string& file) const {
+  if (const auto it = range_files_.find(file); it != range_files_.end()) {
+    std::vector<ObjectId> out;
+    out.reserve(
+        static_cast<std::size_t>(it->second.event_hi - it->second.event_lo));
+    for (std::int64_t e = it->second.event_lo; e < it->second.event_hi; ++e) {
+      out.push_back(make_object_id(it->second.tier, e));
+    }
+    return out;
+  }
+  if (const auto it = packed_files_.find(file); it != packed_files_.end()) {
+    return it->second.objects;
+  }
+  return make_error(ErrorCode::kNotFound, "file not registered: " + file);
+}
+
+Result<Bytes> ObjectFileCatalog::file_payload(const std::string& file,
+                                              const EventModel& model) const {
+  if (const auto it = range_files_.find(file); it != range_files_.end()) {
+    return (it->second.event_hi - it->second.event_lo) *
+           it->second.object_size;
+  }
+  if (const auto it = packed_files_.find(file); it != packed_files_.end()) {
+    Bytes total = 0;
+    for (const ObjectId id : it->second.objects) {
+      total += model.object_size(id);
+    }
+    return total;
+  }
+  return make_error(ErrorCode::kNotFound, "file not registered: " + file);
+}
+
+std::vector<std::string> ObjectFileCatalog::files() const {
+  std::vector<std::string> out;
+  out.reserve(file_count());
+  for (const auto& [file, info] : range_files_) out.push_back(file);
+  for (const auto& [file, packed] : packed_files_) out.push_back(file);
+  return out;
+}
+
+}  // namespace gdmp::objstore

@@ -1,0 +1,85 @@
+// Object-to-file catalog: the middle catalog of Figure 1.
+//
+// Maps object identifiers to the database files that contain them. Two
+// file kinds exist:
+//  * range files — the clustered production layout, holding one tier's
+//    objects for a contiguous event interval (stored as an interval, so a
+//    10^9-event experiment costs O(#files) memory);
+//  * packed files — the object copier's output, holding an explicit list
+//    of objects (sparse selections).
+// An object may live in several files at once ("the new files ... are
+// potential object extraction sources for future object replication
+// requests", §5.2).
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "objstore/object_model.h"
+
+namespace gdmp::objstore {
+
+struct ObjectLocation {
+  std::string file;
+  Bytes offset = 0;  // byte offset within the file
+};
+
+class ObjectFileCatalog {
+ public:
+  /// Registers a clustered production file holding `tier` objects for
+  /// events [event_lo, event_hi).
+  Status add_range_file(const std::string& file, Tier tier,
+                        std::int64_t event_lo, std::int64_t event_hi,
+                        const EventModel& model);
+
+  /// Registers a packed file holding exactly `objects` (copier output).
+  /// Offsets follow the given order.
+  Status add_packed_file(const std::string& file,
+                         std::vector<ObjectId> objects,
+                         const EventModel& model);
+
+  Status remove_file(const std::string& file);
+  bool has_file(const std::string& file) const noexcept;
+
+  /// All files (with offsets) containing the object.
+  std::vector<ObjectLocation> locate(ObjectId id) const;
+  bool contains(ObjectId id) const;
+
+  /// Objects stored in one file, in layout order.
+  Result<std::vector<ObjectId>> objects_in(const std::string& file) const;
+
+  /// Total payload bytes of one file's objects.
+  Result<Bytes> file_payload(const std::string& file,
+                             const EventModel& model) const;
+
+  std::size_t file_count() const noexcept {
+    return range_files_.size() + packed_files_.size();
+  }
+
+  std::vector<std::string> files() const;
+
+ private:
+  struct RangeFile {
+    Tier tier;
+    std::int64_t event_lo;
+    std::int64_t event_hi;
+    Bytes object_size;  // cached from the model at registration
+  };
+
+  struct PackedFile {
+    std::vector<ObjectId> objects;
+    std::vector<Bytes> offsets;  // parallel to objects
+  };
+
+  std::map<std::string, RangeFile> range_files_;
+  std::map<std::string, PackedFile> packed_files_;
+  // Reverse index for packed files only (range files answer by arithmetic).
+  std::unordered_map<ObjectId, std::vector<std::string>> packed_index_;
+  // Range files indexed per tier for interval lookup.
+  std::array<std::multimap<std::int64_t, std::string>, 4> tier_ranges_;
+};
+
+}  // namespace gdmp::objstore

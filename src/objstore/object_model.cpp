@@ -1,0 +1,24 @@
+#include "objstore/object_model.h"
+
+namespace gdmp::objstore {
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kTag: return "tag";
+    case Tier::kAod: return "aod";
+    case Tier::kEsd: return "esd";
+    case Tier::kRaw: return "raw";
+  }
+  return "unknown";
+}
+
+EventModel EventModel::standard(std::int64_t event_count) {
+  std::array<TierSpec, 4> tiers{};
+  tiers[static_cast<std::size_t>(Tier::kTag)] = {100, 100000};
+  tiers[static_cast<std::size_t>(Tier::kAod)] = {10 * kKiB, 2000};
+  tiers[static_cast<std::size_t>(Tier::kEsd)] = {100 * kKiB, 500};
+  tiers[static_cast<std::size_t>(Tier::kRaw)] = {1 * kMiB, 100};
+  return EventModel(event_count, tiers);
+}
+
+}  // namespace gdmp::objstore

@@ -1,0 +1,54 @@
+// Object persistency layer: how application code reads objects (Figure 2).
+//
+// Reads resolve an object through the federation's object-to-file catalog,
+// require the containing file to be attached *locally* (the paper's
+// persistency layers "do not have the native ability to efficiently access
+// objects on remote sites"), and charge disk seek+read time per object.
+// Navigation follows same-event associations across tiers and fails when
+// the associated object's file is absent — the coupling that forces
+// "associated files" to replicate together (§2.1).
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "objstore/federation.h"
+#include "sim/simulator.h"
+
+namespace gdmp::objstore {
+
+struct PersistencyStats {
+  std::int64_t reads = 0;
+  Bytes bytes_read = 0;
+  std::int64_t navigation_failures = 0;
+};
+
+class PersistencyLayer {
+ public:
+  using ReadCallback = std::function<void(Result<Bytes>)>;
+
+  PersistencyLayer(sim::Simulator& simulator, Federation& federation)
+      : simulator_(simulator), federation_(federation) {}
+
+  /// Reads one object; completes after the disk services the request.
+  /// Returns the object size on success.
+  void read_object(ObjectId id, ReadCallback done);
+
+  /// Follows the navigational association from `id` to the same event's
+  /// `target` tier object and reads it. Fails with kUnavailable if the
+  /// target's file is not attached locally — the remote-navigation failure
+  /// mode of §2.1.
+  void navigate(ObjectId id, Tier target, ReadCallback done);
+
+  /// True if the object is readable locally right now.
+  bool available(ObjectId id) const;
+
+  const PersistencyStats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::Simulator& simulator_;
+  Federation& federation_;
+  PersistencyStats stats_;
+};
+
+}  // namespace gdmp::objstore

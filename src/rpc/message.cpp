@@ -1,0 +1,56 @@
+#include "rpc/message.h"
+
+#include <cstring>
+
+namespace gdmp::rpc {
+
+std::vector<std::uint8_t> encode_frame(const RpcMessage& message) {
+  Writer body;
+  body.u8(static_cast<std::uint8_t>(message.kind));
+  body.u64(message.request_id);
+  body.str(message.method);
+  body.u8(message.status_code);
+  body.str(message.status_message);
+  body.bytes(message.payload);
+
+  Writer frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  auto out = frame.take();
+  const auto& inner = body.buffer();
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+Status FrameDecoder::feed(std::span<const std::uint8_t> data,
+                          const std::function<void(RpcMessage)>& sink) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  std::size_t cursor = 0;
+  while (buffer_.size() - cursor >= 4) {
+    std::uint32_t length = 0;
+    std::memcpy(&length, buffer_.data() + cursor, 4);
+    if (length > kMaxFrame) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "oversized RPC frame: " + std::to_string(length));
+    }
+    if (buffer_.size() - cursor - 4 < length) break;
+    Reader r(std::span<const std::uint8_t>(buffer_.data() + cursor + 4,
+                                           length));
+    RpcMessage message;
+    message.kind = static_cast<MessageKind>(r.u8());
+    message.request_id = r.u64();
+    message.method = r.str();
+    message.status_code = r.u8();
+    message.status_message = r.str();
+    message.payload = r.bytes();
+    if (!r.ok()) {
+      return make_error(ErrorCode::kInvalidArgument, "malformed RPC frame");
+    }
+    cursor += 4 + length;
+    sink(std::move(message));
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(cursor));
+  return Status::ok();
+}
+
+}  // namespace gdmp::rpc

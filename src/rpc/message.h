@@ -1,0 +1,52 @@
+// RPC wire protocol: framed messages over a TCP control connection.
+//
+// The GDMP Request Manager provides "a limited Remote Procedure Call
+// functionality" over Globus IO (§4.1). Frames are length-prefixed; the
+// first exchange on every connection is the GSI handshake, after which
+// request/response pairs are matched by id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rpc/serialize.h"
+
+namespace gdmp::rpc {
+
+enum class MessageKind : std::uint8_t {
+  kAuthInit = 0,   // client -> server: GSI initiation token
+  kAuthReply = 1,  // server -> client: GSI reply token
+  kRequest = 2,
+  kResponse = 3,
+};
+
+struct RpcMessage {
+  MessageKind kind = MessageKind::kRequest;
+  std::uint64_t request_id = 0;
+  std::string method;          // kRequest only
+  std::uint8_t status_code = 0;  // kResponse only (ErrorCode)
+  std::string status_message;    // kResponse only
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes a message into a length-prefixed frame.
+std::vector<std::uint8_t> encode_frame(const RpcMessage& message);
+
+/// Incremental decoder: feed stream bytes, pop complete messages.
+class FrameDecoder {
+ public:
+  /// Appends stream bytes and invokes `sink` for every complete message.
+  /// Returns an error (and stops) on a malformed or oversized frame.
+  Status feed(std::span<const std::uint8_t> data,
+              const std::function<void(RpcMessage)>& sink);
+
+  static constexpr std::size_t kMaxFrame = 16u << 20;  // 16 MiB sanity limit
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace gdmp::rpc

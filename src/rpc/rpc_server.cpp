@@ -1,0 +1,126 @@
+#include "rpc/rpc_server.h"
+
+#include "common/logging.h"
+
+namespace gdmp::rpc {
+
+struct RpcServer::Session {
+  net::TcpConnection::Ptr conn;
+  FrameDecoder decoder;
+  security::GsiContext peer;
+  std::uint64_t id = 0;
+  bool authenticated = false;
+};
+
+RpcServer::RpcServer(net::TcpStack& stack, net::Port port,
+                     const security::CertificateAuthority& ca,
+                     security::Certificate credential,
+                     net::TcpConfig tcp_config)
+    : stack_(stack),
+      port_(port),
+      acceptor_(ca, std::move(credential)),
+      tcp_config_(tcp_config) {}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::register_method(std::string name, Handler handler) {
+  methods_[std::move(name)] = std::move(handler);
+}
+
+Status RpcServer::start() {
+  if (listening_) return Status::ok();
+  const Status status = stack_.listen(
+      port_, tcp_config_,
+      [this](net::TcpConnection::Ptr conn) { on_accept(std::move(conn)); });
+  listening_ = status.is_ok();
+  return status;
+}
+
+void RpcServer::stop() {
+  if (!listening_) return;
+  stack_.close_listener(port_);
+  listening_ = false;
+}
+
+void RpcServer::on_accept(net::TcpConnection::Ptr conn) {
+  auto session = std::make_shared<Session>();
+  session->conn = std::move(conn);
+  session->id = next_session_id_++;
+  std::weak_ptr<bool> alive = alive_;
+  session->conn->on_data = [this, alive, session](
+                               std::span<const std::uint8_t> data) {
+    if (alive.expired()) return;
+    const Status status = session->decoder.feed(
+        data, [this, session](RpcMessage m) { on_message(session, std::move(m)); });
+    if (!status.is_ok()) {
+      GDMP_WARN("rpc.server", "dropping connection: ", status.to_string());
+      session->conn->abort();
+    }
+  };
+  session->conn->on_closed = [session](const Status&) {
+    // Session keeps itself alive through the captures; dropping the
+    // callbacks here releases the cycle.
+    session->conn->on_data = nullptr;
+    session->conn->on_closed = nullptr;
+  };
+}
+
+void RpcServer::on_message(const std::shared_ptr<Session>& session,
+                           RpcMessage message) {
+  if (!session->authenticated) {
+    if (message.kind != MessageKind::kAuthInit) {
+      ++auth_failures_;
+      session->conn->abort();
+      return;
+    }
+    auto accepted = acceptor_.accept(message.payload,
+                                     stack_.simulator().now());
+    if (!accepted.is_ok()) {
+      ++auth_failures_;
+      GDMP_WARN("rpc.server", "GSI reject: ", accepted.status().to_string());
+      RpcMessage reply;
+      reply.kind = MessageKind::kAuthReply;
+      reply.status_code = static_cast<std::uint8_t>(accepted.code());
+      reply.status_message = accepted.status().message();
+      session->conn->send(encode_frame(reply));
+      session->conn->close();
+      return;
+    }
+    session->peer = accepted->context;
+    session->authenticated = true;
+    RpcMessage reply;
+    reply.kind = MessageKind::kAuthReply;
+    reply.payload = std::move(accepted->reply);
+    session->conn->send(encode_frame(reply));
+    return;
+  }
+  if (message.kind != MessageKind::kRequest) return;  // ignore stray frames
+  dispatch(session, std::move(message));
+}
+
+void RpcServer::dispatch(const std::shared_ptr<Session>& session,
+                         RpcMessage message) {
+  ++requests_served_;
+  const auto it = methods_.find(message.method);
+  const std::uint64_t id = message.request_id;
+  auto respond = [session, id](Status status,
+                               std::vector<std::uint8_t> payload) {
+    if (session->conn->state() == net::TcpConnection::State::kClosed) return;
+    RpcMessage reply;
+    reply.kind = MessageKind::kResponse;
+    reply.request_id = id;
+    reply.status_code = static_cast<std::uint8_t>(status.code());
+    reply.status_message = status.message();
+    reply.payload = std::move(payload);
+    session->conn->send(encode_frame(reply));
+  };
+  if (it == methods_.end()) {
+    respond(make_error(ErrorCode::kNotFound,
+                       "no such method: " + message.method),
+            {});
+    return;
+  }
+  it->second(session->peer, session->id, message.payload, std::move(respond));
+}
+
+}  // namespace gdmp::rpc

@@ -1,0 +1,55 @@
+#include "security/acl.h"
+
+#include "common/string_util.h"
+
+namespace gdmp::security {
+
+const char* operation_name(Operation op) noexcept {
+  switch (op) {
+    case Operation::kSubscribe: return "subscribe";
+    case Operation::kPublish: return "publish";
+    case Operation::kGetCatalog: return "get_catalog";
+    case Operation::kTransferFile: return "transfer_file";
+    case Operation::kStageRequest: return "stage_request";
+  }
+  return "unknown";
+}
+
+void GridMap::add(Subject subject, std::string local_user) {
+  entries_[std::move(subject)] = std::move(local_user);
+}
+
+Result<std::string> GridMap::map(const Subject& subject) const {
+  const auto it = entries_.find(subject);
+  if (it == entries_.end()) {
+    return make_error(ErrorCode::kPermissionDenied,
+                      "subject not in grid-mapfile: " + subject);
+  }
+  return it->second;
+}
+
+void AccessControl::allow(Operation op, std::string subject_pattern) {
+  rules_[static_cast<int>(op)].push_back(std::move(subject_pattern));
+}
+
+void AccessControl::allow_all(std::string subject_pattern) {
+  for (const Operation op :
+       {Operation::kSubscribe, Operation::kPublish, Operation::kGetCatalog,
+        Operation::kTransferFile, Operation::kStageRequest}) {
+    allow(op, subject_pattern);
+  }
+}
+
+Status AccessControl::check(Operation op, const Subject& subject) const {
+  const auto it = rules_.find(static_cast<int>(op));
+  if (it != rules_.end()) {
+    for (const std::string& pattern : it->second) {
+      if (wildcard_match(pattern, subject)) return Status::ok();
+    }
+  }
+  return make_error(ErrorCode::kPermissionDenied,
+                    std::string(operation_name(op)) + " denied for " +
+                        subject);
+}
+
+}  // namespace gdmp::security

@@ -1,0 +1,60 @@
+// Authorization: gridmap + per-operation access control (§4.1).
+//
+// "Every client request to a GDMP server is authenticated and authorized
+// by a security service." Authentication yields a subject (gsi.h); this
+// module decides what that subject may do at this site.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "security/credentials.h"
+
+namespace gdmp::security {
+
+/// Operations a GDMP server authorizes individually (§4.1's four client
+/// services plus administrative publish).
+enum class Operation {
+  kSubscribe = 0,
+  kPublish,
+  kGetCatalog,
+  kTransferFile,
+  kStageRequest,
+};
+
+const char* operation_name(Operation op) noexcept;
+
+/// Maps grid subjects to site-local accounts (the grid-mapfile).
+class GridMap {
+ public:
+  void add(Subject subject, std::string local_user);
+
+  /// kPermissionDenied if unmapped (the GSI failure mode for unknown DNs).
+  Result<std::string> map(const Subject& subject) const;
+
+  bool contains(const Subject& subject) const noexcept {
+    return entries_.contains(subject);
+  }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::unordered_map<Subject, std::string> entries_;
+};
+
+/// Per-operation allow lists with wildcard subject patterns
+/// ("/O=Grid/OU=cern.ch/*" grants a whole virtual organization).
+class AccessControl {
+ public:
+  void allow(Operation op, std::string subject_pattern);
+  void allow_all(std::string subject_pattern);
+
+  Status check(Operation op, const Subject& subject) const;
+
+ private:
+  std::unordered_map<int, std::vector<std::string>> rules_;
+};
+
+}  // namespace gdmp::security

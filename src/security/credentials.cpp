@@ -1,0 +1,76 @@
+#include "security/credentials.h"
+
+namespace gdmp::security {
+namespace {
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_string(std::string_view s) noexcept {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Certificate::digest() const noexcept {
+  std::uint64_t h = hash_string(subject);
+  h = hash_combine(h, hash_string(issuer));
+  h = hash_combine(h, serial);
+  h = hash_combine(h, static_cast<std::uint64_t>(not_after));
+  h = hash_combine(h, is_proxy ? 1 : 0);
+  return h;
+}
+
+Certificate CertificateAuthority::issue(Subject subject, SimTime not_after) {
+  Certificate cert;
+  cert.subject = std::move(subject);
+  cert.issuer = name_;
+  cert.serial = next_serial_++;
+  cert.not_after = not_after;
+  cert.is_proxy = false;
+  cert.signature = sign(cert);
+  return cert;
+}
+
+Certificate CertificateAuthority::issue_proxy(const Certificate& identity,
+                                              SimTime not_after) {
+  Certificate cert;
+  cert.subject = identity.subject;
+  cert.issuer = identity.subject;  // proxies are self-delegated
+  cert.serial = next_serial_++;
+  cert.not_after = not_after;
+  cert.is_proxy = true;
+  cert.signature = sign(cert);
+  return cert;
+}
+
+Status CertificateAuthority::verify(const Certificate& cert,
+                                    SimTime now) const {
+  if (cert.signature != sign(cert)) {
+    return make_error(ErrorCode::kPermissionDenied,
+                      "bad certificate signature for " + cert.subject);
+  }
+  if (now > cert.not_after) {
+    return make_error(ErrorCode::kPermissionDenied,
+                      "certificate expired for " + cert.subject);
+  }
+  if (!cert.is_proxy && cert.issuer != name_) {
+    return make_error(ErrorCode::kPermissionDenied,
+                      "unknown issuer: " + cert.issuer);
+  }
+  return Status::ok();
+}
+
+std::uint64_t CertificateAuthority::sign(const Certificate& cert) const noexcept {
+  return hash_combine(cert.digest(), secret_);
+}
+
+}  // namespace gdmp::security

@@ -1,0 +1,62 @@
+// Grid credentials: certificates and a certificate authority.
+//
+// GDMP authenticates every client request through GSI (§4.1, [FKT98]).
+// The reproduction keeps GSI's *structure* — CA-issued identity
+// certificates, proxy certificates for single sign-on delegation, expiry,
+// signature verification — while substituting the public-key primitive
+// with a keyed 64-bit hash (the cryptography itself is irrelevant to
+// replication behaviour; see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace gdmp::security {
+
+/// X.509-style distinguished name, e.g. "/O=Grid/OU=cern.ch/CN=alice".
+using Subject = std::string;
+
+struct Certificate {
+  Subject subject;
+  Subject issuer;        // CA name, or the delegating subject for proxies
+  std::uint64_t serial = 0;
+  SimTime not_after = 0;  // expiry in simulated time
+  bool is_proxy = false;
+  std::uint64_t signature = 0;
+
+  /// The value the signature covers.
+  std::uint64_t digest() const noexcept;
+};
+
+/// Simulated certificate authority with a private signing secret.
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(std::string name,
+                                std::uint64_t secret = 0x5ca1ab1e)
+      : name_(std::move(name)), secret_(secret) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Issues a long-lived identity certificate.
+  Certificate issue(Subject subject, SimTime not_after);
+
+  /// Issues a short-lived proxy certificate delegating `identity`
+  /// (single sign-on: the proxy authenticates without the long-term key).
+  Certificate issue_proxy(const Certificate& identity, SimTime not_after);
+
+  /// Verifies signature chain and expiry at time `now`.
+  Status verify(const Certificate& cert, SimTime now) const;
+
+ private:
+  std::uint64_t sign(const Certificate& cert) const noexcept;
+
+  std::string name_;
+  std::uint64_t secret_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace gdmp::security

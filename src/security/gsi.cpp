@@ -1,0 +1,93 @@
+#include "security/gsi.h"
+
+#include "rpc/serialize.h"
+
+namespace gdmp::security {
+
+std::vector<std::uint8_t> encode_certificate(const Certificate& cert) {
+  rpc::Writer w;
+  w.str(cert.subject);
+  w.str(cert.issuer);
+  w.u64(cert.serial);
+  w.i64(cert.not_after);
+  w.boolean(cert.is_proxy);
+  w.u64(cert.signature);
+  return w.take();
+}
+
+Result<Certificate> decode_certificate(std::span<const std::uint8_t> data) {
+  rpc::Reader r(data);
+  Certificate cert;
+  cert.subject = r.str();
+  cert.issuer = r.str();
+  cert.serial = r.u64();
+  cert.not_after = r.i64();
+  cert.is_proxy = r.boolean();
+  cert.signature = r.u64();
+  if (!r.ok()) {
+    return make_error(ErrorCode::kInvalidArgument, "truncated certificate");
+  }
+  return cert;
+}
+
+std::uint64_t handshake_proof(const Certificate& cert,
+                              std::uint64_t nonce) noexcept {
+  std::uint64_t h = cert.signature ^ (nonce * 0x9e3779b97f4a7c15ULL);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+std::vector<std::uint8_t> GsiInitiator::initiate(Rng& rng) {
+  nonce_ = rng.next();
+  rpc::Writer w;
+  w.bytes(encode_certificate(credential_));
+  w.u64(nonce_);
+  return w.take();
+}
+
+Result<GsiContext> GsiInitiator::complete(
+    std::span<const std::uint8_t> token, SimTime now) const {
+  rpc::Reader r(token);
+  const auto cert_bytes = r.bytes();
+  const std::uint64_t proof = r.u64();
+  if (!r.ok()) {
+    return make_error(ErrorCode::kPermissionDenied,
+                      "malformed GSI reply token");
+  }
+  auto cert = decode_certificate(cert_bytes);
+  if (!cert.is_ok()) return cert.status();
+  if (const Status status = ca_.verify(*cert, now); !status.is_ok()) {
+    return status;
+  }
+  if (proof != handshake_proof(*cert, nonce_)) {
+    return make_error(ErrorCode::kPermissionDenied,
+                      "GSI freshness proof mismatch from " + cert->subject);
+  }
+  return GsiContext{cert->subject, cert->is_proxy};
+}
+
+Result<GsiAcceptor::Accepted> GsiAcceptor::accept(
+    std::span<const std::uint8_t> token, SimTime now) const {
+  rpc::Reader r(token);
+  const auto cert_bytes = r.bytes();
+  const std::uint64_t nonce = r.u64();
+  if (!r.ok()) {
+    return make_error(ErrorCode::kPermissionDenied,
+                      "malformed GSI initiation token");
+  }
+  auto cert = decode_certificate(cert_bytes);
+  if (!cert.is_ok()) return cert.status();
+  if (const Status status = ca_.verify(*cert, now); !status.is_ok()) {
+    return status;
+  }
+  rpc::Writer w;
+  w.bytes(encode_certificate(credential_));
+  w.u64(handshake_proof(credential_, nonce));
+  Accepted accepted;
+  accepted.context = GsiContext{cert->subject, cert->is_proxy};
+  accepted.reply = w.take();
+  return accepted;
+}
+
+}  // namespace gdmp::security

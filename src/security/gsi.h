@@ -1,0 +1,78 @@
+// GSI-style mutual authentication (GSS-API shape).
+//
+// The handshake is two tokens exchanged over the already-open control
+// connection, exactly where the real GSS sec context establishment sits:
+//
+//   client -> server : { client certificate, nonce_c }
+//   server -> client : { server certificate, proof(nonce_c) }
+//
+// Each side verifies the peer certificate against the trusted CA and the
+// server proves freshness by binding the client nonce. The proof uses the
+// simulated signature primitive (see credentials.h); cryptographic
+// soundness is substituted, the message flow and failure modes are not.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "security/credentials.h"
+
+namespace gdmp::security {
+
+/// Encodes/decodes a certificate for the wire.
+std::vector<std::uint8_t> encode_certificate(const Certificate& cert);
+Result<Certificate> decode_certificate(std::span<const std::uint8_t> data);
+
+/// Established security context: the authenticated peer identity.
+struct GsiContext {
+  Subject peer;
+  bool delegated = false;  // peer presented a proxy certificate
+};
+
+/// Client side of the handshake.
+class GsiInitiator {
+ public:
+  GsiInitiator(const CertificateAuthority& ca, Certificate credential)
+      : ca_(ca), credential_(std::move(credential)) {}
+
+  /// First token to send.
+  std::vector<std::uint8_t> initiate(Rng& rng);
+
+  /// Processes the server reply; on success returns the server identity.
+  Result<GsiContext> complete(std::span<const std::uint8_t> token,
+                              SimTime now) const;
+
+ private:
+  const CertificateAuthority& ca_;
+  Certificate credential_;
+  std::uint64_t nonce_ = 0;
+};
+
+/// Server side of the handshake.
+class GsiAcceptor {
+ public:
+  GsiAcceptor(const CertificateAuthority& ca, Certificate credential)
+      : ca_(ca), credential_(std::move(credential)) {}
+
+  /// Processes the client token; on success returns the client identity
+  /// plus the reply token to send back.
+  struct Accepted {
+    GsiContext context;
+    std::vector<std::uint8_t> reply;
+  };
+  Result<Accepted> accept(std::span<const std::uint8_t> token,
+                          SimTime now) const;
+
+ private:
+  const CertificateAuthority& ca_;
+  Certificate credential_;
+};
+
+/// Freshness proof binding a nonce to a certificate (shared by both sides).
+std::uint64_t handshake_proof(const Certificate& cert,
+                              std::uint64_t nonce) noexcept;
+
+}  // namespace gdmp::security

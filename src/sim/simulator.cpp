@@ -1,0 +1,123 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace gdmp::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+  assert(fn && "scheduling a null callback");
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq, std::move(fn)});
+  live_.insert(seq);
+  return EventHandle(seq);
+}
+
+void Simulator::cancel(EventHandle handle) {
+  // Only a still-pending event can be cancelled; a handle to a fired event
+  // must not poison the cancelled set (it would never be drained).
+  if (handle.id_ != 0 && live_.erase(handle.id_) > 0) {
+    cancelled_.insert(handle.id_);
+  }
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the callback must be moved out, so we
+    // const_cast the node we are about to pop. Safe: pop() immediately
+    // removes it and no comparison uses `fn`.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    const bool skip = cancelled_.erase(top.seq) > 0;
+    if (skip) {
+      queue_.pop();
+      continue;
+    }
+    live_.erase(top.seq);
+    out = std::move(top);
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t count = 0;
+  stop_requested_ = false;
+  Entry entry;
+  while (!stop_requested_ && pop_next(entry)) {
+    now_ = entry.time;
+    ++fired_;
+    ++count;
+    entry.fn();
+  }
+  return count;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty()) {
+    if (queue_.top().time > deadline) break;
+    Entry entry;
+    if (!pop_next(entry) || entry.time > deadline) {
+      // pop_next may have drained cancelled entries past the deadline; if the
+      // popped event is late, re-schedule it untouched (same seq, so any
+      // outstanding handle to it stays valid).
+      if (entry.fn) {
+        live_.insert(entry.seq);
+        queue_.push(std::move(entry));
+      }
+      break;
+    }
+    now_ = entry.time;
+    ++fired_;
+    ++count;
+    entry.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+bool Simulator::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  now_ = entry.time;
+  ++fired_;
+  entry.fn();
+  return true;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& simulator, SimDuration period,
+                             std::function<void()> tick)
+    : simulator_(simulator), period_(period), tick_(std::move(tick)) {
+  assert(period_ > 0);
+  assert(tick_);
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  simulator_.cancel(pending_);
+  pending_ = EventHandle();
+}
+
+void PeriodicTimer::arm() {
+  // The timer may be destroyed while an event is in flight; the weak alive
+  // flag keeps the callback from touching a dead object.
+  std::weak_ptr<bool> alive = alive_;
+  pending_ = simulator_.schedule(period_, [this, alive] {
+    if (alive.expired() || !running_) return;
+    tick_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace gdmp::sim

@@ -1,0 +1,126 @@
+// Discrete-event simulation kernel.
+//
+// Every dynamic behaviour in the reproduced grid — packet arrivals, tape
+// mounts, GDMP server work, analysis jobs — is an event on one Simulator.
+// The kernel is single-threaded and fully deterministic: events with equal
+// timestamps fire in scheduling order (FIFO tie-break by sequence number),
+// so a given seed always produces byte-identical traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gdmp::sim {
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
+  EventHandle schedule(SimDuration delay, Callback fn) {
+    return schedule_at(delay > 0 ? now_ + delay : now_, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute time (clamped to `now()` if in the past).
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Cancels a pending event. Idempotent; cancelling a fired or invalid
+  /// handle is a no-op.
+  void cancel(EventHandle handle);
+
+  /// Runs events until the queue empties. Returns the number fired.
+  std::size_t run();
+
+  /// Runs events with time <= `deadline` and advances the clock to
+  /// `deadline` (even if the queue empties earlier). Returns events fired.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs a single event if any is pending. Returns false when idle.
+  bool step();
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending() const noexcept { return live_.size(); }
+
+  /// Total events fired since construction.
+  std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Stops `run()` / `run_until()` after the current event returns.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break and cancellation key
+    Callback fn;
+
+    // priority_queue is a max-heap; invert so the earliest event wins.
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry> queue_;
+  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet fired/cancelled
+  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, still in queue_
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  bool stop_requested_ = false;
+};
+
+/// Repeating timer built on the kernel; used for periodic monitoring,
+/// retry loops and cross-traffic sources. Cancels itself on destruction.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& simulator, SimDuration period,
+                std::function<void()> tick);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& simulator_;
+  SimDuration period_;
+  std::function<void()> tick_;
+  EventHandle pending_;
+  bool running_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace gdmp::sim

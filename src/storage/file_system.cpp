@@ -1,0 +1,96 @@
+#include "storage/file_system.h"
+
+#include "common/crc32.h"
+
+namespace gdmp::storage {
+
+std::uint32_t FileInfo::crc() const noexcept {
+  return crc32_synthetic(content_seed, 0, size);
+}
+
+Result<FileInfo> FileSystem::create(std::string path, Bytes size,
+                                    std::uint64_t content_seed, SimTime now,
+                                    bool replace) {
+  if (path.empty() || size < 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bad path or size: '" + path + "'");
+  }
+  const auto it = files_.find(path);
+  if (it != files_.end()) {
+    if (!replace) {
+      return make_error(ErrorCode::kAlreadyExists, "file exists: " + path);
+    }
+    total_bytes_ -= it->second.size;
+    it->second.size = size;
+    it->second.content_seed = content_seed;
+    it->second.modify_time = now;
+    total_bytes_ += size;
+    return it->second;
+  }
+  FileInfo info;
+  info.path = path;
+  info.size = size;
+  info.content_seed = content_seed;
+  info.modify_time = now;
+  total_bytes_ += size;
+  return files_.emplace(std::move(path), std::move(info)).first->second;
+}
+
+Status FileSystem::remove(std::string_view path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no such file: " + std::string(path));
+  }
+  total_bytes_ -= it->second.size;
+  files_.erase(it);
+  return Status::ok();
+}
+
+Result<FileInfo> FileSystem::stat(std::string_view path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no such file: " + std::string(path));
+  }
+  return it->second;
+}
+
+bool FileSystem::exists(std::string_view path) const noexcept {
+  return files_.contains(path);
+}
+
+Status FileSystem::set_content(std::string_view path, Bytes size,
+                               std::uint64_t content_seed, SimTime now) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no such file: " + std::string(path));
+  }
+  total_bytes_ += size - it->second.size;
+  it->second.size = size;
+  it->second.content_seed = content_seed;
+  it->second.modify_time = now;
+  return Status::ok();
+}
+
+Status FileSystem::set_pinned(std::string_view path, bool pinned) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no such file: " + std::string(path));
+  }
+  it->second.pinned = pinned;
+  return Status::ok();
+}
+
+std::vector<FileInfo> FileSystem::list(std::string_view prefix) const {
+  std::vector<FileInfo> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace gdmp::storage

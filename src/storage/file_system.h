@@ -1,0 +1,65 @@
+// Site-local file system metadata.
+//
+// The simulator does not store file *contents*; a file is (size, content
+// seed). Two files with equal seed+size have identical synthetic content,
+// and CRCs are computed from the seed (common/crc32.h). This preserves
+// every behaviour GDMP depends on — equality, corruption detection, partial
+// ranges — at zero memory cost for petabyte-scale runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace gdmp::storage {
+
+struct FileInfo {
+  std::string path;
+  Bytes size = 0;
+  std::uint64_t content_seed = 0;
+  SimTime modify_time = 0;
+  bool pinned = false;  // protected from disk-pool eviction
+
+  /// CRC of the full synthetic content.
+  std::uint32_t crc() const noexcept;
+};
+
+/// Flat namespace of files with ordered prefix listing.
+class FileSystem {
+ public:
+  /// Creates or truncates a file. Overwrite requires `replace` = true.
+  Result<FileInfo> create(std::string path, Bytes size,
+                          std::uint64_t content_seed, SimTime now,
+                          bool replace = false);
+
+  Status remove(std::string_view path);
+
+  Result<FileInfo> stat(std::string_view path) const;
+
+  bool exists(std::string_view path) const noexcept;
+
+  /// Overwrites the content seed (used by fault injection to model
+  /// corruption-in-place and by appenders).
+  Status set_content(std::string_view path, Bytes size,
+                     std::uint64_t content_seed, SimTime now);
+
+  Status set_pinned(std::string_view path, bool pinned);
+
+  /// All files whose path starts with `prefix`, in path order.
+  std::vector<FileInfo> list(std::string_view prefix = "") const;
+
+  Bytes total_bytes() const noexcept { return total_bytes_; }
+  std::size_t file_count() const noexcept { return files_.size(); }
+
+ private:
+  std::map<std::string, FileInfo, std::less<>> files_;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace gdmp::storage

@@ -1,0 +1,80 @@
+// Hierarchical Resource Manager interface (§4.4, [Bern00]).
+//
+// GDMP talks to mass storage through plug-ins. The paper describes two:
+// the original *staging script* solution and the newer *HRM* API "which
+// provides a common interface to be used to access different Mass Storage
+// Systems" and "a cleaner interface as compared to the staging script
+// solution". Both are implemented here against the same simulated MSS so
+// their overheads can be compared (the script path pays a process-spawn
+// latency per request).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sim/simulator.h"
+#include "storage/mss.h"
+
+namespace gdmp::storage {
+
+/// Abstract staging interface used by the GDMP Storage Manager Service.
+class StorageBackend {
+ public:
+  using StageCallback = MassStorageSystem::StageCallback;
+  using ArchiveCallback = MassStorageSystem::ArchiveCallback;
+
+  virtual ~StorageBackend() = default;
+
+  virtual void stage_to_disk(const std::string& path, DiskPool& pool,
+                             StageCallback done) = 0;
+  virtual void archive_file(const FileInfo& info, ArchiveCallback done) = 0;
+  virtual bool in_archive(std::string_view path) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// HRM plug-in: direct API calls onto the MSS (models the CORBA-based HRM).
+class HrmBackend final : public StorageBackend {
+ public:
+  HrmBackend(sim::Simulator& simulator, MassStorageSystem& mss,
+             SimDuration rpc_overhead = 5 * kMillisecond)
+      : simulator_(simulator), mss_(mss), rpc_overhead_(rpc_overhead) {}
+
+  void stage_to_disk(const std::string& path, DiskPool& pool,
+                     StageCallback done) override;
+  void archive_file(const FileInfo& info, ArchiveCallback done) override;
+  bool in_archive(std::string_view path) const override {
+    return mss_.in_archive(path);
+  }
+  const char* name() const override { return "hrm"; }
+
+ private:
+  sim::Simulator& simulator_;
+  MassStorageSystem& mss_;
+  SimDuration rpc_overhead_;  // one CORBA round trip per request
+};
+
+/// Staging-script plug-in: each request forks an external stager process
+/// (models the pre-HRM GDMP deployment; noticeably higher per-request cost).
+class ScriptStagerBackend final : public StorageBackend {
+ public:
+  ScriptStagerBackend(sim::Simulator& simulator, MassStorageSystem& mss,
+                      SimDuration spawn_latency = 400 * kMillisecond)
+      : simulator_(simulator), mss_(mss), spawn_latency_(spawn_latency) {}
+
+  void stage_to_disk(const std::string& path, DiskPool& pool,
+                     StageCallback done) override;
+  void archive_file(const FileInfo& info, ArchiveCallback done) override;
+  bool in_archive(std::string_view path) const override {
+    return mss_.in_archive(path);
+  }
+  const char* name() const override { return "script"; }
+
+ private:
+  sim::Simulator& simulator_;
+  MassStorageSystem& mss_;
+  SimDuration spawn_latency_;
+};
+
+}  // namespace gdmp::storage

@@ -1,0 +1,90 @@
+#include "storage/mss.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gdmp::storage {
+
+MassStorageSystem::MassStorageSystem(sim::Simulator& simulator,
+                                     MssConfig config)
+    : simulator_(simulator), config_(config) {
+  assert(config_.tape_drives > 0);
+  drive_busy_until_.assign(static_cast<std::size_t>(config_.tape_drives), 0);
+}
+
+void MassStorageSystem::archive(const FileInfo& info, ArchiveCallback done) {
+  // Archival streams through a drive like staging does.
+  const auto drive_it =
+      std::min_element(drive_busy_until_.begin(), drive_busy_until_.end());
+  const SimTime start = std::max(*drive_it, simulator_.now());
+  const SimDuration service =
+      config_.mount_latency +
+      transmission_delay(info.size, config_.tape_bandwidth);
+  *drive_it = start + service;
+  ++stats_.archives;
+  FileInfo copy = info;
+  copy.pinned = false;
+  simulator_.schedule_at(
+      *drive_it, [this, copy = std::move(copy), done = std::move(done)] {
+        auto result = archive_.create(copy.path, copy.size, copy.content_seed,
+                                      simulator_.now(), /*replace=*/true);
+        done(result.is_ok() ? Status::ok() : result.status());
+      });
+}
+
+void MassStorageSystem::stage(const std::string& path, DiskPool& pool,
+                              StageCallback done) {
+  if (!archive_.exists(path)) {
+    done(make_error(ErrorCode::kNotFound, "not archived: " + path));
+    return;
+  }
+  queue_.push_back(
+      StageRequest{path, &pool, std::move(done), simulator_.now()});
+  pump();
+}
+
+void MassStorageSystem::pump() {
+  while (!queue_.empty()) {
+    const auto drive_it =
+        std::min_element(drive_busy_until_.begin(), drive_busy_until_.end());
+    // All drives model their own timelines; a request can always be bound to
+    // the earliest-free drive immediately (FIFO order preserved by binding
+    // in queue order).
+    const int drive =
+        static_cast<int>(drive_it - drive_busy_until_.begin());
+    StageRequest request = std::move(queue_.front());
+    queue_.pop_front();
+    run_stage(drive, std::move(request));
+  }
+}
+
+void MassStorageSystem::run_stage(int drive, StageRequest request) {
+  const auto archived = archive_.stat(request.path);
+  if (!archived.is_ok()) {
+    request.done(archived.status());
+    return;
+  }
+  const SimTime start =
+      std::max(drive_busy_until_[drive], simulator_.now());
+  const SimDuration wait = start - simulator_.now();
+  const SimDuration service =
+      config_.mount_latency +
+      transmission_delay(archived->size, config_.tape_bandwidth);
+  drive_busy_until_[drive] = start + service;
+  ++stats_.stages;
+  stats_.total_queue_wait += wait;
+  stats_.total_stage_time += wait + service;
+
+  const FileInfo file = *archived;
+  simulator_.schedule_at(
+      drive_busy_until_[drive],
+      [this, file, request = std::move(request)]() mutable {
+        auto result = request.pool->add_file(file.path, file.size,
+                                             file.content_seed,
+                                             simulator_.now(),
+                                             /*pinned=*/true);
+        request.done(std::move(result));
+      });
+}
+
+}  // namespace gdmp::storage

@@ -1,0 +1,87 @@
+// Mass Storage System: the HPSS-class tape store behind each site's disk
+// pool (§4.4).
+//
+// Files are permanent once archived. Staging a file back to disk occupies
+// one of a small pool of tape drives for mount latency + size/bandwidth;
+// requests beyond drive capacity queue FIFO. GDMP triggers stages
+// explicitly because "the MSS is mostly shared with other administrative
+// domains" — its internal cache cannot be managed by the Grid.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/simulator.h"
+#include "storage/disk_pool.h"
+#include "storage/file_system.h"
+
+namespace gdmp::storage {
+
+struct MssConfig {
+  int tape_drives = 2;
+  SimDuration mount_latency = 30 * kSecond;
+  BitsPerSec tape_bandwidth = 15 * 8 * kMbps;  // 15 MB/s streaming
+};
+
+struct MssStats {
+  std::int64_t stages = 0;
+  std::int64_t archives = 0;
+  SimDuration total_queue_wait = 0;
+  SimDuration total_stage_time = 0;
+};
+
+class MassStorageSystem {
+ public:
+  using StageCallback = std::function<void(Result<FileInfo>)>;
+  using ArchiveCallback = std::function<void(Status)>;
+
+  MassStorageSystem(sim::Simulator& simulator, MssConfig config);
+
+  MassStorageSystem(const MassStorageSystem&) = delete;
+  MassStorageSystem& operator=(const MassStorageSystem&) = delete;
+
+  /// Archives a file described by `info` (typically from the disk pool).
+  /// The disk copy is untouched; the MSS now holds a permanent replica.
+  void archive(const FileInfo& info, ArchiveCallback done);
+
+  /// Stages `path` from tape into `pool` (pinned until the callback runs so
+  /// the Grid transfer that requested it cannot lose the file mid-flight).
+  /// Fails kNotFound if not archived, kResourceExhausted if the pool cannot
+  /// make room.
+  void stage(const std::string& path, DiskPool& pool, StageCallback done);
+
+  bool in_archive(std::string_view path) const noexcept {
+    return archive_.exists(path);
+  }
+  Result<FileInfo> archived_stat(std::string_view path) const {
+    return archive_.stat(path);
+  }
+  std::size_t archived_count() const noexcept { return archive_.file_count(); }
+
+  const MssStats& stats() const noexcept { return stats_; }
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+
+ private:
+  struct StageRequest {
+    std::string path;
+    DiskPool* pool;
+    StageCallback done;
+    SimTime enqueued_at;
+  };
+
+  void pump();
+  void run_stage(int drive, StageRequest request);
+
+  sim::Simulator& simulator_;
+  MssConfig config_;
+  FileSystem archive_;
+  std::vector<SimTime> drive_busy_until_;
+  std::deque<StageRequest> queue_;
+  MssStats stats_;
+};
+
+}  // namespace gdmp::storage

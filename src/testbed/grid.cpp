@@ -1,0 +1,99 @@
+#include "testbed/grid.h"
+
+namespace gdmp::testbed {
+
+Grid::Grid(GridConfig config)
+    : config_(std::move(config)),
+      network_(simulator_),
+      ca_("GridCA", 0x5ca1ab1e ^ config_.seed),
+      model_(objstore::EventModel::standard(config_.event_count)) {
+  std::vector<net::GridSiteLink> links;
+  links.reserve(config_.sites.size());
+  for (const GridSiteSpec& spec : config_.sites) {
+    links.push_back(net::GridSiteLink{spec.name, spec.wan});
+  }
+  topology_ = net::make_grid_topology(network_, links);
+
+  // Central catalog host: LAN-attached to the core (the single LDAP server).
+  net::Node& rc_host = network_.add_node("rc");
+  net::LinkConfig rc_lan;
+  rc_lan.bandwidth = 1000 * kMbps;
+  rc_lan.propagation = 200 * kMicrosecond;
+  rc_lan.queue_capacity = 4 * kMiB;
+  network_.connect(rc_host, *topology_.core, rc_lan);
+  network_.compute_routes();
+  catalog_node_ = rc_host.id();
+  catalog_stack_ = std::make_unique<net::TcpStack>(simulator_, rc_host);
+  constexpr SimDuration kYear = 365LL * 24 * 3600 * kSecond;
+  catalog_server_ = std::make_unique<core::CatalogServer>(
+      *catalog_stack_, ca_,
+      ca_.issue("/O=Grid/OU=rc/CN=replica-catalog", kYear));
+
+  for (std::size_t i = 0; i < config_.sites.size(); ++i) {
+    GridSiteSpec& spec = config_.sites[i];
+    spec.site.gdmp.catalog_host = catalog_node_;
+    auto site = std::make_unique<Site>(simulator_, network_,
+                                       *topology_.hosts[i], ca_, model_,
+                                       spec.site);
+    sites_.push_back(std::move(site));
+
+    if (spec.cross_traffic > 0) {
+      // Shared production link: constant-bit-rate background in both
+      // directions of the site uplink (`cross_traffic` each way).
+      net::CbrConfig cbr;
+      cbr.rate = spec.cross_traffic;
+      cross_sinks_.push_back(
+          std::make_unique<net::DatagramSink>(*topology_.hosts[i]));
+      auto up = std::make_unique<net::CbrSource>(
+          network_, *topology_.hosts[i], *topology_.core, cbr,
+          config_.seed ^ (0x1111ULL * (i + 1)));
+      auto down = std::make_unique<net::CbrSource>(
+          network_, *topology_.core, *topology_.hosts[i], cbr,
+          config_.seed ^ (0x2222ULL * (i + 1)));
+      up->start();
+      down->start();
+      cross_sources_.push_back(std::move(up));
+      cross_sources_.push_back(std::move(down));
+    }
+  }
+}
+
+Status Grid::start() {
+  if (const Status status = catalog_server_->start(); !status.is_ok()) {
+    return status;
+  }
+  for (auto& site : sites_) {
+    if (const Status status = site->start(); !status.is_ok()) return status;
+  }
+  return Status::ok();
+}
+
+Site* Grid::find_site(const std::string& name) noexcept {
+  for (auto& site : sites_) {
+    if (site->name() == name) return site.get();
+  }
+  return nullptr;
+}
+
+net::Link* Grid::uplink(std::size_t index) noexcept {
+  return network_.link_between(*topology_.gateways[index], *topology_.core);
+}
+
+GridConfig two_site_config(const std::string& a, const std::string& b,
+                           BitsPerSec cross_traffic) {
+  GridConfig config;
+  net::WanConfig wan;
+  // Two legs in series: split the 125 ms CERN–ANL RTT across them.
+  wan.wan_one_way_delay = 31 * kMillisecond + 250 * kMicrosecond;
+  GridSiteSpec site_a;
+  site_a.name = a;
+  site_a.wan = wan;
+  site_a.cross_traffic = cross_traffic;
+  GridSiteSpec site_b;
+  site_b.name = b;
+  site_b.wan = wan;
+  config.sites = {site_a, site_b};
+  return config;
+}
+
+}  // namespace gdmp::testbed

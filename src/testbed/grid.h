@@ -1,0 +1,84 @@
+// Multi-site Data Grid testbed assembly.
+//
+// Builds the star-of-regional-centres topology (hosts behind site gateways
+// around a WAN core), a central replica-catalog host ("a central replica
+// catalog and a single LDAP server"), per-site GDMP/GridFTP stacks, and
+// optional cross-traffic on each site uplink (the shared production links
+// of §6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gdmp/catalog_service.h"
+#include "net/cross_traffic.h"
+#include "net/topology.h"
+#include "testbed/site.h"
+
+namespace gdmp::testbed {
+
+struct GridSiteSpec {
+  std::string name;
+  net::WanConfig wan{};
+  SiteConfig site{};
+  /// Cross traffic occupying this site's uplink toward the core (0 = none).
+  BitsPerSec cross_traffic = 0;
+};
+
+struct GridConfig {
+  std::vector<GridSiteSpec> sites;
+  std::int64_t event_count = 100'000;
+  std::uint64_t seed = 42;
+};
+
+class Grid {
+ public:
+  explicit Grid(GridConfig config);
+
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  /// Starts every server. Call once before running the simulator.
+  Status start();
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  net::Network& network() noexcept { return network_; }
+  security::CertificateAuthority& ca() noexcept { return ca_; }
+  const objstore::EventModel& model() const noexcept { return model_; }
+  core::CatalogServer& catalog() noexcept { return *catalog_server_; }
+  net::NodeId catalog_node() const noexcept { return catalog_node_; }
+
+  Site& site(std::size_t index) noexcept { return *sites_[index]; }
+  Site* find_site(const std::string& name) noexcept;
+  std::size_t site_count() const noexcept { return sites_.size(); }
+
+  /// Runs the simulation until `deadline`.
+  std::size_t run_until(SimTime deadline) {
+    return simulator_.run_until(deadline);
+  }
+
+  /// The bottleneck link from site `index`'s gateway toward the core.
+  net::Link* uplink(std::size_t index) noexcept;
+
+ private:
+  GridConfig config_;
+  sim::Simulator simulator_;
+  net::Network network_;
+  security::CertificateAuthority ca_;
+  objstore::EventModel model_;
+  net::GridTopology topology_;
+  net::NodeId catalog_node_ = net::kInvalidNode;
+  std::unique_ptr<net::TcpStack> catalog_stack_;
+  std::unique_ptr<core::CatalogServer> catalog_server_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::vector<std::unique_ptr<net::CbrSource>> cross_sources_;
+  std::vector<std::unique_ptr<net::DatagramSink>> cross_sinks_;
+};
+
+/// The classic two-site CERN↔ANL path used throughout §6, as a grid.
+GridConfig two_site_config(const std::string& a = "cern",
+                           const std::string& b = "anl",
+                           BitsPerSec cross_traffic = 0);
+
+}  // namespace gdmp::testbed

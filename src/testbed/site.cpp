@@ -1,0 +1,72 @@
+#include "testbed/site.h"
+
+namespace gdmp::testbed {
+namespace {
+
+constexpr SimDuration kYear = 365LL * 24 * 3600 * kSecond;
+
+core::SiteServices make_services(Site& owner, const std::string& name,
+                                 sim::Simulator& simulator,
+                                 net::TcpStack& stack,
+                                 storage::DiskPool& pool,
+                                 storage::StorageBackend* backend,
+                                 objstore::Federation* federation,
+                                 security::CertificateAuthority& ca) {
+  (void)owner;
+  return core::SiteServices{
+      name,       simulator, stack,
+      pool,       backend,   federation,
+      ca,         ca.issue("/O=Grid/OU=" + name + "/CN=gdmp-server", kYear)};
+}
+
+}  // namespace
+
+Site::Site(sim::Simulator& simulator, net::Network& network, net::Node& host,
+           security::CertificateAuthority& ca,
+           const objstore::EventModel& model, SiteConfig config)
+    : config_(std::move(config)),
+      host_(host),
+      stack_(simulator, host),
+      disk_(simulator, config_.disk),
+      pool_(config_.pool_capacity, disk_),
+      mss_(config_.has_mss ? std::make_unique<storage::MassStorageSystem>(
+                                 simulator, config_.mss)
+                           : nullptr),
+      backend_(mss_ ? (config_.use_script_stager
+                           ? std::unique_ptr<storage::StorageBackend>(
+                                 std::make_unique<storage::ScriptStagerBackend>(
+                                     simulator, *mss_))
+                           : std::unique_ptr<storage::StorageBackend>(
+                                 std::make_unique<storage::HrmBackend>(
+                                     simulator, *mss_)))
+                    : nullptr),
+      federation_(config_.has_federation
+                      ? std::make_unique<objstore::Federation>(
+                            host.name() + "-fd", model, pool_)
+                      : nullptr),
+      persistency_(federation_ ? std::make_unique<objstore::PersistencyLayer>(
+                                     simulator, *federation_)
+                               : nullptr),
+      services_(make_services(*this, host.name(), simulator, stack_, pool_,
+                              backend_.get(), federation_.get(), ca)),
+      ftp_server_(stack_, pool_, ca, services_.credential, config_.ftp),
+      gdmp_server_(services_, config_.gdmp,
+                   [&network](const std::string& hostname) -> Result<net::NodeId> {
+                     net::Node* node = network.find(hostname);
+                     if (node == nullptr) {
+                       return make_error(ErrorCode::kNotFound,
+                                         "unknown host: " + hostname);
+                     }
+                     return node->id();
+                   }),
+      gdmp_client_(gdmp_server_),
+      objrep_(gdmp_server_, config_.objrep) {}
+
+Status Site::start() {
+  if (const Status status = ftp_server_.start(); !status.is_ok()) {
+    return status;
+  }
+  return gdmp_server_.start();
+}
+
+}  // namespace gdmp::testbed

@@ -1,0 +1,35 @@
+// Workload generators: detector production runs and analysis jobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gdmp/types.h"
+#include "objrep/selection.h"
+#include "testbed/site.h"
+
+namespace gdmp::testbed {
+
+/// A production run: the detector (or simulation) writes one tier's
+/// objects for an event range into clustered database files at a site.
+struct ProductionConfig {
+  objstore::Tier tier = objstore::Tier::kAod;
+  std::int64_t event_lo = 0;
+  std::int64_t event_hi = 0;  // exclusive
+  std::string run_name = "run1";
+  std::uint32_t schema = 1;
+  bool archive_to_mss = false;
+};
+
+/// Creates the run's database files in the site pool, attaches them to the
+/// federation, and returns PublishedFile records (annotated for the
+/// Objectivity plug-in) ready for gdmp publish.
+std::vector<core::PublishedFile> produce_run(Site& site,
+                                             const ProductionConfig& config);
+
+/// Produces all four tiers for an event range (a full detector run).
+std::vector<core::PublishedFile> produce_all_tiers(
+    Site& site, std::int64_t event_lo, std::int64_t event_hi,
+    const std::string& run_name, bool archive_to_mss = false);
+
+}  // namespace gdmp::testbed

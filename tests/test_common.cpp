@@ -1,0 +1,223 @@
+// Unit tests for the common utility layer.
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/types.h"
+#include "common/uri.h"
+
+namespace gdmp {
+namespace {
+
+TEST(Types, TransmissionDelayMatchesArithmetic) {
+  // 1 MB at 8 Mbit/s = 1.048576 s.
+  const SimDuration d = transmission_delay(1 * kMiB, 8 * kMbps);
+  EXPECT_NEAR(to_seconds(d), 1.048576, 1e-9);
+}
+
+TEST(Types, TransmissionDelayNeverZeroForPositiveBytes) {
+  EXPECT_GE(transmission_delay(1, 100 * kGbps), 1);
+}
+
+TEST(Types, ThroughputInverseOfDelay) {
+  const Bytes size = 25 * kMiB;
+  const SimDuration d = transmission_delay(size, 45 * kMbps);
+  EXPECT_NEAR(throughput_mbps(size, d), 45.0, 0.01);
+}
+
+TEST(Result, OkStatusIsTruthy) {
+  const Status status = Status::ok();
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Result, ErrorCarriesCodeAndMessage) {
+  const Status status = make_error(ErrorCode::kNotFound, "no such file");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.to_string(), "NOT_FOUND: no such file");
+}
+
+TEST(Result, ValueAccessAndConversion) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad = make_error(ErrorCode::kTimedOut, "slow");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ZipfHeadHeavierThanTail) {
+  Rng rng(13);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto rank = rng.zipf(1000, 1.0);
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, 1000);
+    if (rank < 10) ++head;
+    if (rank >= 990) ++tail;
+  }
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE).
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  Crc32 crc;
+  crc.update(std::span(data, 4));
+  crc.update(std::span(data + 4, 5));
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SyntheticDependsOnSeedOffsetAndLength) {
+  const auto base = crc32_synthetic(1, 0, 10000);
+  EXPECT_NE(base, crc32_synthetic(2, 0, 10000));
+  EXPECT_NE(base, crc32_synthetic(1, 4096, 10000));
+  EXPECT_NE(base, crc32_synthetic(1, 0, 10001));
+  EXPECT_EQ(base, crc32_synthetic(1, 0, 10000));
+}
+
+TEST(Crc32, SyntheticIncrementalConsistency) {
+  Crc32 a;
+  a.update_synthetic(99, 0, 8192);
+  a.update_synthetic(99, 8192, 8192);
+  Crc32 b;
+  b.update_synthetic(99, 0, 8192);
+  b.update_synthetic(99, 8192, 8192);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Uri, ParsesFullGsiftpUrl) {
+  auto uri = parse_uri("gsiftp://cern.ch:2811/pool/run1.db");
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_EQ(uri->scheme, "gsiftp");
+  EXPECT_EQ(uri->host, "cern.ch");
+  EXPECT_EQ(uri->port, 2811);
+  EXPECT_EQ(uri->path, "/pool/run1.db");
+  EXPECT_EQ(uri->to_string(), "gsiftp://cern.ch:2811/pool/run1.db");
+}
+
+TEST(Uri, DefaultPortAndRootPath) {
+  auto uri = parse_uri("mss://fnal");
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_EQ(uri->port, 0);
+  EXPECT_EQ(uri->path, "/");
+}
+
+TEST(Uri, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_uri("not-a-url").is_ok());
+  EXPECT_FALSE(parse_uri("://host/x").is_ok());
+  EXPECT_FALSE(parse_uri("ftp://:2811/x").is_ok());
+  EXPECT_FALSE(parse_uri("ftp://host:99999/x").is_ok());
+}
+
+TEST(Uri, MakeGsiftpNormalizesPath) {
+  const Uri uri = make_gsiftp_uri("anl", "pool/f");
+  EXPECT_EQ(uri.path, "/pool/f");
+  EXPECT_EQ(uri.port, 2811);
+}
+
+TEST(StringUtil, SplitAndJoinRoundTrip) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(StringUtil, WildcardMatching) {
+  EXPECT_TRUE(wildcard_match("*", "anything"));
+  EXPECT_TRUE(wildcard_match("run*.db", "run42.db"));
+  EXPECT_TRUE(wildcard_match("r?n", "run"));
+  EXPECT_FALSE(wildcard_match("run*.db", "run42.dbx"));
+  EXPECT_TRUE(wildcard_match("/O=Grid/*", "/O=Grid/OU=cern/CN=alice"));
+  EXPECT_FALSE(wildcard_match("", "x"));
+  EXPECT_TRUE(wildcard_match("", ""));
+}
+
+TEST(StringUtil, FormatBytesHumanReadable) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(25 * 1024 * 1024), "25.0 MiB");
+}
+
+TEST(Stats, RunningStatsMoments) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Stats, PercentilesNearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+  EXPECT_NEAR(p.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(p.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(Stats, TimeSeriesWindowMean) {
+  TimeSeries series;
+  series.add(1 * kSecond, 10.0);
+  series.add(2 * kSecond, 20.0);
+  series.add(3 * kSecond, 30.0);
+  EXPECT_DOUBLE_EQ(series.mean_in_window(2 * kSecond, 3 * kSecond), 25.0);
+  EXPECT_DOUBLE_EQ(series.mean_in_window(10 * kSecond, 20 * kSecond), 0.0);
+}
+
+}  // namespace
+}  // namespace gdmp

@@ -1,0 +1,328 @@
+// Tests for the network simulator and TCP Reno+SACK implementation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/cross_traffic.h"
+#include "net/tcp.h"
+#include "net/topology.h"
+
+namespace gdmp::net {
+namespace {
+
+struct WanFixture {
+  sim::Simulator simulator;
+  Network network{simulator};
+  WanPath path;
+  std::unique_ptr<TcpStack> stack_a;
+  std::unique_ptr<TcpStack> stack_b;
+
+  explicit WanFixture(WanConfig config = {}) {
+    path = make_wan_path(network, "a", "b", config);
+    stack_a = std::make_unique<TcpStack>(simulator, *path.host_a);
+    stack_b = std::make_unique<TcpStack>(simulator, *path.host_b);
+  }
+};
+
+TEST(Link, DropsWhenQueueFull) {
+  sim::Simulator simulator;
+  LinkConfig config;
+  config.bandwidth = 1 * kMbps;
+  config.queue_capacity = 3000;
+  int delivered = 0;
+  Link link(simulator, config, [&](const Packet&) { ++delivered; });
+  Packet packet;
+  packet.payload_len = 1000;
+  for (int i = 0; i < 5; ++i) link.enqueue(packet);
+  simulator.run();
+  EXPECT_EQ(delivered, 2);  // 2×1040 fit in 3000; the rest dropped
+  EXPECT_EQ(link.stats().packets_dropped, 3);
+}
+
+TEST(Link, SerializationPlusPropagationDelay) {
+  sim::Simulator simulator;
+  LinkConfig config;
+  config.bandwidth = 8 * kMbps;  // 1 byte per microsecond
+  config.propagation = 10 * kMillisecond;
+  SimTime arrival = -1;
+  Link link(simulator, config, [&](const Packet&) { arrival = simulator.now(); });
+  Packet packet;
+  packet.payload_len = 960;  // wire = 1000 B -> 1 ms serialization
+  link.enqueue(packet);
+  simulator.run();
+  EXPECT_EQ(arrival, 11 * kMillisecond);
+}
+
+TEST(Network, RoutesAcrossMultipleHops) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  auto path = make_wan_path(network, "x", "y");
+  bool received = false;
+  path.host_b->set_protocol_handler(Protocol::kDatagram,
+                                    [&](const Packet&) { received = true; });
+  Packet packet;
+  packet.src = path.host_a->id();
+  packet.dst = path.host_b->id();
+  packet.protocol = Protocol::kDatagram;
+  packet.payload_len = 100;
+  EXPECT_TRUE(path.host_a->send(packet));
+  simulator.run();
+  EXPECT_TRUE(received);
+}
+
+TEST(Network, FindByName) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  make_wan_path(network, "cern", "anl");
+  ASSERT_NE(network.find("cern"), nullptr);
+  ASSERT_NE(network.find("anl-gw"), nullptr);
+  EXPECT_EQ(network.find("slac"), nullptr);
+}
+
+TEST(Tcp, HandshakeEstablishesBothSides) {
+  WanFixture f;
+  TcpConfig config;
+  TcpConnection::Ptr accepted;
+  ASSERT_TRUE(f.stack_b->listen(
+      5000, config, [&](TcpConnection::Ptr c) { accepted = std::move(c); }));
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, config);
+  bool established = false;
+  client->on_established = [&](const Status& s) { established = s.is_ok(); };
+  f.simulator.run_until(10 * kSecond);
+  EXPECT_TRUE(established);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_TRUE(accepted->established());
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  WanFixture f;
+  auto client = f.stack_a->connect(f.path.host_b->id(), 1234, TcpConfig{});
+  Status result = Status::ok();
+  bool called = false;
+  client->on_established = [&](const Status& s) {
+    called = true;
+    result = s;
+  };
+  f.simulator.run_until(10 * kSecond);
+  EXPECT_TRUE(called);
+  EXPECT_EQ(result.code(), ErrorCode::kAborted);
+}
+
+TEST(Tcp, RealBytesArriveInOrderAndIntact) {
+  WanFixture f;
+  std::vector<std::uint8_t> received;
+  TcpConnection::Ptr server;
+  (void)f.stack_b->listen(5000, TcpConfig{}, [&](TcpConnection::Ptr c) {
+    server = c;
+    c->on_data = [&](std::span<const std::uint8_t> data) {
+      received.insert(received.end(), data.begin(), data.end());
+    };
+  });
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, TcpConfig{});
+  std::vector<std::uint8_t> sent(10000);
+  std::iota(sent.begin(), sent.end(), 0);
+  client->on_established = [&](const Status&) {
+    client->send(sent);
+  };
+  f.simulator.run_until(30 * kSecond);
+  EXPECT_EQ(received, sent);
+}
+
+TEST(Tcp, SyntheticBytesCountedExactly) {
+  WanFixture f;
+  Bytes received = 0;
+  TcpConnection::Ptr server;
+  (void)f.stack_b->listen(5000, TcpConfig{}, [&](TcpConnection::Ptr c) {
+    server = c;
+    c->on_synthetic_data = [&](Bytes n) { received += n; };
+  });
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, TcpConfig{});
+  client->on_established = [&](const Status&) {
+    client->send_synthetic(5 * kMiB);
+  };
+  f.simulator.run_until(120 * kSecond);
+  EXPECT_EQ(received, 5 * kMiB);
+}
+
+TEST(Tcp, MixedRealAndSyntheticPreserveOrder) {
+  WanFixture f;
+  std::string log;
+  TcpConnection::Ptr server;
+  (void)f.stack_b->listen(5000, TcpConfig{}, [&](TcpConnection::Ptr c) {
+    server = c;
+    c->on_data = [&](std::span<const std::uint8_t> d) {
+      log += "r" + std::to_string(d.size());
+    };
+    c->on_synthetic_data = [&](Bytes n) { log += "s" + std::to_string(n); };
+  });
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, TcpConfig{});
+  client->on_established = [&](const Status&) {
+    client->send({1, 2, 3});
+    client->send_synthetic(1000);
+    client->send({4, 5});
+  };
+  f.simulator.run_until(30 * kSecond);
+  EXPECT_EQ(log, "r3s1000r2");
+}
+
+TEST(Tcp, ThroughputIsWindowLimitedWithSmallBuffers) {
+  // 64 KB window / 125 ms RTT ≈ 4.2 Mbit/s — the paper's untuned baseline.
+  WanFixture f;
+  TcpConfig config;
+  config.send_buffer = 64 * kKiB;
+  config.recv_buffer = 64 * kKiB;
+  TcpConnection::Ptr server;
+  (void)f.stack_b->listen(5000, config, [&](TcpConnection::Ptr c) { server = c; });
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, config);
+  const Bytes total = 5 * kMiB;
+  SimTime finished = 0;
+  client->on_established = [&](const Status&) {
+    client->send_synthetic(total);
+  };
+  client->on_send_drained = [&] {
+    if (finished == 0) finished = f.simulator.now();
+  };
+  f.simulator.run_until(120 * kSecond);
+  ASSERT_GT(finished, 0);
+  const double mbps = throughput_mbps(total, finished);
+  EXPECT_GT(mbps, 3.0);
+  EXPECT_LT(mbps, 5.0);
+}
+
+TEST(Tcp, TunedBufferFillsMostOfThePipe) {
+  WanFixture f;
+  TcpConfig config;
+  config.send_buffer = 1 * kMiB;
+  config.recv_buffer = 1 * kMiB;
+  TcpConnection::Ptr server;
+  (void)f.stack_b->listen(5000, config, [&](TcpConnection::Ptr c) { server = c; });
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, config);
+  const Bytes total = 20 * kMiB;
+  SimTime finished = 0;
+  client->on_established = [&](const Status&) { client->send_synthetic(total); };
+  client->on_send_drained = [&] {
+    if (finished == 0) finished = f.simulator.now();
+  };
+  f.simulator.run_until(120 * kSecond);
+  ASSERT_GT(finished, 0);
+  EXPECT_GT(throughput_mbps(total, finished), 25.0);  // of 45 Mbit/s
+}
+
+TEST(Tcp, RecoversFromHeavyCongestionLoss) {
+  // Two tuned flows overflow a BDP-sized bottleneck queue; both must still
+  // finish and retransmissions must be recorded.
+  WanConfig wan;
+  wan.wan_queue = 704 * kKiB;  // 2 x 1 MiB windows cannot fit
+  WanFixture f(wan);
+  TcpConfig config;
+  config.send_buffer = 1 * kMiB;
+  config.recv_buffer = 1 * kMiB;
+  std::vector<TcpConnection::Ptr> servers;
+  (void)f.stack_b->listen(5000, config,
+                    [&](TcpConnection::Ptr c) { servers.push_back(c); });
+  int done = 0;
+  std::vector<TcpConnection::Ptr> clients;
+  for (int i = 0; i < 2; ++i) {
+    auto client = f.stack_a->connect(f.path.host_b->id(), 5000, config);
+    client->on_established = [client](const Status&) {
+      client->send_synthetic(10 * kMiB);
+    };
+    client->on_send_drained = [&done] { ++done; };
+    clients.push_back(client);
+  }
+  f.simulator.run_until(300 * kSecond);
+  EXPECT_EQ(done, 2);
+  const auto total_retx = clients[0]->stats().retransmits +
+                          clients[1]->stats().retransmits +
+                          clients[0]->stats().timeouts +
+                          clients[1]->stats().timeouts;
+  EXPECT_GT(total_retx, 0);
+  EXPECT_GT(f.path.bottleneck_ab->stats().packets_dropped, 0);
+}
+
+TEST(Tcp, GracefulCloseCompletesBothSides) {
+  WanFixture f;
+  TcpConnection::Ptr server;
+  bool server_closed = false, client_closed = false;
+  (void)f.stack_b->listen(5000, TcpConfig{}, [&](TcpConnection::Ptr c) {
+    server = c;
+    c->on_closed = [&](const Status& s) { server_closed = s.is_ok(); };
+    c->on_synthetic_data = [c](Bytes) { c->close(); };
+  });
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, TcpConfig{});
+  client->on_established = [&](const Status&) {
+    client->send_synthetic(1000);
+    client->close();
+  };
+  client->on_closed = [&](const Status& s) { client_closed = s.is_ok(); };
+  f.simulator.run_until(60 * kSecond);
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(f.stack_a->connection_count(), 0u);
+  EXPECT_EQ(f.stack_b->connection_count(), 0u);
+}
+
+TEST(Tcp, AbortResetsPeer) {
+  WanFixture f;
+  TcpConnection::Ptr server;
+  Status server_status = Status::ok();
+  (void)f.stack_b->listen(5000, TcpConfig{}, [&](TcpConnection::Ptr c) {
+    server = c;
+    c->on_closed = [&](const Status& s) { server_status = s; };
+  });
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, TcpConfig{});
+  client->on_established = [&](const Status&) { client->abort(); };
+  f.simulator.run_until(30 * kSecond);
+  EXPECT_EQ(server_status.code(), ErrorCode::kAborted);
+}
+
+// Parameterized sweep: throughput must scale roughly with buffer size while
+// window-limited (property derived from throughput = window / RTT).
+class TcpBufferSweep : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(TcpBufferSweep, ThroughputTracksWindowOverRtt) {
+  WanFixture f;
+  TcpConfig config;
+  config.send_buffer = GetParam();
+  config.recv_buffer = GetParam();
+  TcpConnection::Ptr server;
+  (void)f.stack_b->listen(5000, config, [&](TcpConnection::Ptr c) { server = c; });
+  auto client = f.stack_a->connect(f.path.host_b->id(), 5000, config);
+  const Bytes total = 8 * kMiB;
+  SimTime finished = 0;
+  client->on_established = [&](const Status&) { client->send_synthetic(total); };
+  client->on_send_drained = [&] {
+    if (finished == 0) finished = f.simulator.now();
+  };
+  f.simulator.run_until(600 * kSecond);
+  ASSERT_GT(finished, 0);
+  const double expected =
+      static_cast<double>(GetParam()) * 8.0 / 0.125 / 1e6;  // window/RTT
+  const double measured = throughput_mbps(total, finished);
+  EXPECT_GT(measured, expected * 0.6);
+  EXPECT_LT(measured, expected * 1.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowLimited, TcpBufferSweep,
+                         ::testing::Values(32 * kKiB, 64 * kKiB, 128 * kKiB,
+                                           256 * kKiB));
+
+TEST(CrossTraffic, CbrOffersConfiguredRate) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  auto path = make_wan_path(network, "a", "b");
+  DatagramSink sink(*path.host_b);
+  CbrConfig config;
+  config.rate = 10 * kMbps;
+  CbrSource source(network, *path.host_a, *path.host_b, config, 5);
+  source.start();
+  simulator.run_until(10 * kSecond);
+  source.stop();
+  const double offered_mbps =
+      static_cast<double>(source.bytes_offered()) * 8.0 / 10.0 / 1e6;
+  EXPECT_NEAR(offered_mbps, 10.0, 0.7);
+  EXPECT_GT(sink.bytes_received(), 0);
+}
+
+}  // namespace
+}  // namespace gdmp::net

@@ -1,0 +1,138 @@
+// Tests for the simulated GSI: certificates, handshake, authorization.
+#include <gtest/gtest.h>
+
+#include "security/acl.h"
+#include "security/gsi.h"
+
+namespace gdmp::security {
+namespace {
+
+constexpr SimTime kYear = 365LL * 24 * 3600 * kSecond;
+
+TEST(Credentials, IssueAndVerify) {
+  CertificateAuthority ca("TestCA");
+  const Certificate cert = ca.issue("/CN=alice", kYear);
+  EXPECT_TRUE(ca.verify(cert, 0).is_ok());
+  EXPECT_TRUE(ca.verify(cert, kYear - 1).is_ok());
+}
+
+TEST(Credentials, ExpiryEnforced) {
+  CertificateAuthority ca("TestCA");
+  const Certificate cert = ca.issue("/CN=alice", 100);
+  EXPECT_EQ(ca.verify(cert, 101).code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(Credentials, TamperedCertificateRejected) {
+  CertificateAuthority ca("TestCA");
+  Certificate cert = ca.issue("/CN=alice", kYear);
+  cert.subject = "/CN=mallory";
+  EXPECT_EQ(ca.verify(cert, 0).code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(Credentials, ForeignCaRejected) {
+  CertificateAuthority ours("OursCA", 1);
+  CertificateAuthority theirs("TheirsCA", 2);
+  const Certificate cert = theirs.issue("/CN=bob", kYear);
+  EXPECT_FALSE(ours.verify(cert, 0).is_ok());
+}
+
+TEST(Credentials, ProxyDelegation) {
+  CertificateAuthority ca("TestCA");
+  const Certificate identity = ca.issue("/CN=alice", kYear);
+  const Certificate proxy = ca.issue_proxy(identity, 12 * 3600 * kSecond);
+  EXPECT_TRUE(proxy.is_proxy);
+  EXPECT_EQ(proxy.subject, identity.subject);
+  EXPECT_TRUE(ca.verify(proxy, 0).is_ok());
+  EXPECT_FALSE(ca.verify(proxy, 13LL * 3600 * kSecond).is_ok());
+}
+
+TEST(Gsi, MutualHandshakeSucceeds) {
+  CertificateAuthority ca("TestCA");
+  Rng rng(1);
+  GsiInitiator client(ca, ca.issue("/CN=client", kYear));
+  GsiAcceptor server(ca, ca.issue("/CN=server", kYear));
+
+  GsiInitiator client2(ca, ca.issue("/CN=client", kYear));
+  const auto token = client.initiate(rng);
+  auto accepted = server.accept(token, 0);
+  ASSERT_TRUE(accepted.is_ok());
+  EXPECT_EQ(accepted->context.peer, "/CN=client");
+  auto context = client.complete(accepted->reply, 0);
+  ASSERT_TRUE(context.is_ok());
+  EXPECT_EQ(context->peer, "/CN=server");
+}
+
+TEST(Gsi, ReplyBoundToNonce) {
+  CertificateAuthority ca("TestCA");
+  Rng rng(1);
+  GsiInitiator client_a(ca, ca.issue("/CN=a", kYear));
+  GsiInitiator client_b(ca, ca.issue("/CN=b", kYear));
+  GsiAcceptor server(ca, ca.issue("/CN=server", kYear));
+  const auto token_a = client_a.initiate(rng);
+  (void)client_b.initiate(rng);
+  auto accepted = server.accept(token_a, 0);
+  ASSERT_TRUE(accepted.is_ok());
+  // b cannot complete with a's reply: nonce mismatch.
+  EXPECT_FALSE(client_b.complete(accepted->reply, 0).is_ok());
+}
+
+TEST(Gsi, ExpiredClientRejected) {
+  CertificateAuthority ca("TestCA");
+  Rng rng(1);
+  GsiInitiator client(ca, ca.issue("/CN=client", 100));
+  GsiAcceptor server(ca, ca.issue("/CN=server", kYear));
+  const auto token = client.initiate(rng);
+  EXPECT_FALSE(server.accept(token, 200).is_ok());
+}
+
+TEST(Gsi, MalformedTokensRejected) {
+  CertificateAuthority ca("TestCA");
+  GsiAcceptor server(ca, ca.issue("/CN=server", kYear));
+  const std::vector<std::uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(server.accept(garbage, 0).is_ok());
+  GsiInitiator client(ca, ca.issue("/CN=client", kYear));
+  EXPECT_FALSE(client.complete(garbage, 0).is_ok());
+}
+
+TEST(Gsi, CertificateCodecRoundTrip) {
+  CertificateAuthority ca("TestCA");
+  const Certificate cert = ca.issue("/O=Grid/CN=x", kYear);
+  auto decoded = decode_certificate(encode_certificate(cert));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->subject, cert.subject);
+  EXPECT_EQ(decoded->signature, cert.signature);
+  EXPECT_EQ(decoded->not_after, cert.not_after);
+}
+
+TEST(GridMap, MapsKnownSubjects) {
+  GridMap gridmap;
+  gridmap.add("/CN=alice", "alice_local");
+  auto mapped = gridmap.map("/CN=alice");
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_EQ(*mapped, "alice_local");
+  EXPECT_EQ(gridmap.map("/CN=bob").code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(AccessControl, PerOperationRules) {
+  AccessControl acl;
+  acl.allow(Operation::kSubscribe, "/O=Grid/*");
+  acl.allow(Operation::kPublish, "/O=Grid/OU=cern/*");
+  EXPECT_TRUE(acl.check(Operation::kSubscribe, "/O=Grid/OU=anl/CN=x").is_ok());
+  EXPECT_FALSE(acl.check(Operation::kPublish, "/O=Grid/OU=anl/CN=x").is_ok());
+  EXPECT_TRUE(acl.check(Operation::kPublish, "/O=Grid/OU=cern/CN=y").is_ok());
+  EXPECT_FALSE(
+      acl.check(Operation::kTransferFile, "/O=Grid/OU=cern/CN=y").is_ok());
+}
+
+TEST(AccessControl, AllowAllGrantsEverything) {
+  AccessControl acl;
+  acl.allow_all("/O=Grid/*");
+  for (const Operation op :
+       {Operation::kSubscribe, Operation::kPublish, Operation::kGetCatalog,
+        Operation::kTransferFile, Operation::kStageRequest}) {
+    EXPECT_TRUE(acl.check(op, "/O=Grid/CN=z").is_ok());
+  }
+}
+
+}  // namespace
+}  // namespace gdmp::security

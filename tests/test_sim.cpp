@@ -1,0 +1,168 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace gdmp::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(30, [&] { order.push_back(3); });
+  simulator.schedule(10, [&] { order.push_back(1); });
+  simulator.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(simulator.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30);
+}
+
+TEST(Simulator, EqualTimesFireFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedSchedulingAdvancesClock) {
+  Simulator simulator;
+  SimTime inner_fired = -1;
+  simulator.schedule(10, [&] {
+    simulator.schedule(5, [&] { inner_fired = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_EQ(inner_fired, 15);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator simulator;
+  simulator.schedule(100, [] {});
+  simulator.run();
+  SimTime fired = -1;
+  simulator.schedule_at(5, [&] { fired = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  const EventHandle handle = simulator.schedule(10, [&] { fired = true; });
+  simulator.cancel(handle);
+  simulator.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator simulator;
+  int count = 0;
+  const EventHandle handle = simulator.schedule(1, [&] { ++count; });
+  simulator.run();
+  simulator.cancel(handle);  // must not poison future bookkeeping
+  simulator.schedule(1, [&] { ++count; });
+  simulator.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(10, [&] { ++fired; });
+  simulator.schedule(20, [&] { ++fired; });
+  simulator.schedule(30, [&] { ++fired; });
+  EXPECT_EQ(simulator.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.now(), 20);
+  EXPECT_EQ(simulator.run_until(100), 1u);
+  EXPECT_EQ(simulator.now(), 100);
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator simulator;
+  simulator.run_until(500);
+  EXPECT_EQ(simulator.now(), 500);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(1, [&] { ++fired; });
+  simulator.schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(simulator.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(simulator.step());
+  EXPECT_FALSE(simulator.step());
+}
+
+TEST(Simulator, RequestStopHaltsRun) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(1, [&] {
+    ++fired;
+    simulator.request_stop();
+  });
+  simulator.schedule(2, [&] { ++fired; });
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.pending(), 1u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator simulator;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    simulator.schedule((i * 7919) % 1000, [&] {
+      if (simulator.now() < last) monotone = false;
+      last = simulator.now();
+    });
+  }
+  simulator.run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+  Simulator simulator;
+  int ticks = 0;
+  PeriodicTimer timer(simulator, 10, [&] { ++ticks; });
+  timer.start();
+  simulator.run_until(55);
+  EXPECT_EQ(ticks, 5);
+  timer.stop();
+  simulator.run_until(200);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(PeriodicTimer, DestructionCancelsCleanly) {
+  Simulator simulator;
+  int ticks = 0;
+  {
+    PeriodicTimer timer(simulator, 10, [&] { ++ticks; });
+    timer.start();
+    simulator.run_until(25);
+  }
+  simulator.run_until(1000);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimer, RestartAfterStop) {
+  Simulator simulator;
+  int ticks = 0;
+  PeriodicTimer timer(simulator, 10, [&] { ++ticks; });
+  timer.start();
+  simulator.run_until(20);
+  timer.stop();
+  timer.start();
+  simulator.run_until(40);
+  EXPECT_EQ(ticks, 4);
+}
+
+}  // namespace
+}  // namespace gdmp::sim

@@ -1,0 +1,141 @@
+// Tests for the testbed assembly layer and workload generators.
+#include <gtest/gtest.h>
+
+#include "testbed/grid.h"
+#include "testbed/workload.h"
+
+namespace gdmp::testbed {
+namespace {
+
+TEST(GridAssembly, TwoSiteConfigBuildsAndStarts) {
+  Grid grid(two_site_config("cern", "anl"));
+  ASSERT_TRUE(grid.start().is_ok());
+  EXPECT_EQ(grid.site_count(), 2u);
+  EXPECT_EQ(grid.site(0).name(), "cern");
+  EXPECT_EQ(grid.site(1).name(), "anl");
+  ASSERT_NE(grid.find_site("anl"), nullptr);
+  EXPECT_EQ(grid.find_site("nosuch"), nullptr);
+  ASSERT_NE(grid.uplink(0), nullptr);
+  EXPECT_NE(grid.catalog_node(), net::kInvalidNode);
+}
+
+TEST(GridAssembly, EndToEndRttMatchesConfiguredDelays) {
+  // Two legs of 31.25 ms plus LAN hops: a TCP handshake (SYN + SYN|ACK)
+  // completes in one RTT ≈ 125 ms.
+  Grid grid(two_site_config());
+  ASSERT_TRUE(grid.start().is_ok());
+  net::TcpConfig config;
+  bool established = false;
+  SimTime established_at = 0;
+  (void)grid.site(1).stack().listen(
+      6000, config, [](net::TcpConnection::Ptr) {});
+  const SimTime start = grid.simulator().now();
+  auto client = grid.site(0).stack().connect(grid.site(1).host().id(), 6000,
+                                             config);
+  client->on_established = [&](const Status& s) {
+    established = s.is_ok();
+    established_at = grid.simulator().now();
+  };
+  grid.run_until(grid.simulator().now() + 10 * kSecond);
+  ASSERT_TRUE(established);
+  const double rtt_ms = to_seconds(established_at - start) * 1e3;
+  EXPECT_NEAR(rtt_ms, 125.0, 5.0);
+}
+
+TEST(GridAssembly, SitesWithoutFederationOrMss) {
+  GridConfig config = two_site_config();
+  config.sites[0].site.has_federation = false;
+  Grid grid(config);
+  ASSERT_TRUE(grid.start().is_ok());
+  EXPECT_EQ(grid.site(0).federation(), nullptr);
+  EXPECT_EQ(grid.site(0).persistency(), nullptr);
+  EXPECT_EQ(grid.site(0).mss(), nullptr);
+  EXPECT_NE(grid.site(1).federation(), nullptr);
+}
+
+TEST(GridAssembly, CrossTrafficOccupiesUplink) {
+  GridConfig config = two_site_config("a", "b", 10 * kMbps);
+  Grid grid(config);
+  ASSERT_TRUE(grid.start().is_ok());
+  grid.run_until(10 * kSecond);
+  ASSERT_NE(grid.uplink(0), nullptr);
+  // ~10 Mbit/s for 10 s ≈ 12.5 MB of wire bytes on the uplink.
+  EXPECT_GT(grid.uplink(0)->stats().bytes_sent, 8 * kMiB);
+}
+
+TEST(Workload, ProduceRunCreatesClusteredFiles) {
+  Grid grid(two_site_config());
+  ASSERT_TRUE(grid.start().is_ok());
+  ProductionConfig production;
+  production.tier = objstore::Tier::kEsd;  // 500 objects/file
+  production.event_lo = 100;
+  production.event_hi = 1600;
+  auto files = produce_run(grid.site(0), production);
+  ASSERT_EQ(files.size(), 3u);  // 1500 events / 500 per file
+  Bytes total = 0;
+  for (const auto& file : files) {
+    EXPECT_TRUE(grid.site(0).pool().contains(file.local_path));
+    EXPECT_TRUE(grid.site(0).federation()->is_attached(file.local_path));
+    EXPECT_EQ(file.file_type, "objectivity");
+    EXPECT_EQ(file.extra.at("layout"), "range");
+    total += grid.site(0).pool().peek(file.local_path)->size;
+  }
+  EXPECT_EQ(total, 1500LL * 100 * kKiB);
+  // Every produced object is locally readable.
+  EXPECT_TRUE(grid.site(0).persistency()->available(
+      objstore::make_object_id(objstore::Tier::kEsd, 100)));
+  EXPECT_TRUE(grid.site(0).persistency()->available(
+      objstore::make_object_id(objstore::Tier::kEsd, 1599)));
+  EXPECT_FALSE(grid.site(0).persistency()->available(
+      objstore::make_object_id(objstore::Tier::kEsd, 1600)));
+}
+
+TEST(Workload, ProduceRunStopsWhenPoolFull) {
+  GridConfig config = two_site_config();
+  config.sites[0].site.pool_capacity = 30 * kMiB;  // fits ~1.5 AOD files
+  Grid grid(config);
+  ASSERT_TRUE(grid.start().is_ok());
+  ProductionConfig production;
+  production.tier = objstore::Tier::kAod;
+  production.event_hi = 10'000;  // would need 5 files = ~98 MiB
+  auto files = produce_run(grid.site(0), production);
+  EXPECT_GE(files.size(), 1u);
+  // The pool honours its capacity by evicting LRU files, so older
+  // production files may already be gone — but never over-commits.
+  EXPECT_LE(grid.site(0).pool().used_bytes(),
+            grid.site(0).pool().capacity());
+  std::size_t still_on_disk = 0;
+  for (const auto& file : files) {
+    if (grid.site(0).pool().contains(file.local_path)) ++still_on_disk;
+  }
+  EXPECT_LT(still_on_disk, files.size());
+}
+
+TEST(Workload, AllTiersShareEventRange) {
+  Grid grid(two_site_config());
+  ASSERT_TRUE(grid.start().is_ok());
+  auto files = produce_all_tiers(grid.site(0), 0, 1000, "full");
+  int tiers_seen[4] = {0, 0, 0, 0};
+  for (const auto& file : files) {
+    tiers_seen[std::stoi(file.extra.at("tier"))]++;
+  }
+  EXPECT_EQ(tiers_seen[0], 1);   // tag: 100k/file -> 1
+  EXPECT_EQ(tiers_seen[1], 1);   // aod: 2000/file -> 1
+  EXPECT_EQ(tiers_seen[2], 2);   // esd: 500/file -> 2
+  EXPECT_EQ(tiers_seen[3], 10);  // raw: 100/file -> 10
+}
+
+TEST(SiteAssembly, StorageBackendSelection) {
+  GridConfig config = two_site_config();
+  config.sites[0].site.has_mss = true;
+  config.sites[0].site.use_script_stager = false;
+  config.sites[1].site.has_mss = true;
+  config.sites[1].site.use_script_stager = true;
+  Grid grid(config);
+  ASSERT_TRUE(grid.start().is_ok());
+  ASSERT_NE(grid.site(0).mss(), nullptr);
+  ASSERT_NE(grid.site(1).mss(), nullptr);
+}
+
+}  // namespace
+}  // namespace gdmp::testbed
