@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_copier_overhead.dir/bench_copier_overhead.cpp.o"
+  "CMakeFiles/bench_copier_overhead.dir/bench_copier_overhead.cpp.o.d"
+  "bench_copier_overhead"
+  "bench_copier_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copier_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

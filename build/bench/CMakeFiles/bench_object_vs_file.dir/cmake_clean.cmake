@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_object_vs_file.dir/bench_object_vs_file.cpp.o"
+  "CMakeFiles/bench_object_vs_file.dir/bench_object_vs_file.cpp.o.d"
+  "bench_object_vs_file"
+  "bench_object_vs_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_object_vs_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_replica_catalog.cpp" "bench/CMakeFiles/bench_replica_catalog.dir/bench_replica_catalog.cpp.o" "gcc" "bench/CMakeFiles/bench_replica_catalog.dir/bench_replica_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/gdmp_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/objrep/CMakeFiles/gdmp_objrep.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdmp/CMakeFiles/gdmp_gdmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/gdmp_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/gdmp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gdmp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gdmp_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/gdmp_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gdmp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replica_catalog.dir/bench_replica_catalog.cpp.o"
+  "CMakeFiles/bench_replica_catalog.dir/bench_replica_catalog.cpp.o.d"
+  "bench_replica_catalog"
+  "bench_replica_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replica_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

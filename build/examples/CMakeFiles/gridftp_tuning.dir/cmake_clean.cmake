@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridftp_tuning.dir/gridftp_tuning.cpp.o"
+  "CMakeFiles/gridftp_tuning.dir/gridftp_tuning.cpp.o.d"
+  "gridftp_tuning"
+  "gridftp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridftp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisite_production.dir/multisite_production.cpp.o"
+  "CMakeFiles/multisite_production.dir/multisite_production.cpp.o.d"
+  "multisite_production"
+  "multisite_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisite_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/filter.cpp" "src/catalog/CMakeFiles/gdmp_catalog.dir/filter.cpp.o" "gcc" "src/catalog/CMakeFiles/gdmp_catalog.dir/filter.cpp.o.d"
+  "/root/repo/src/catalog/ldap_store.cpp" "src/catalog/CMakeFiles/gdmp_catalog.dir/ldap_store.cpp.o" "gcc" "src/catalog/CMakeFiles/gdmp_catalog.dir/ldap_store.cpp.o.d"
+  "/root/repo/src/catalog/replica_catalog.cpp" "src/catalog/CMakeFiles/gdmp_catalog.dir/replica_catalog.cpp.o" "gcc" "src/catalog/CMakeFiles/gdmp_catalog.dir/replica_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_catalog.dir/filter.cpp.o"
+  "CMakeFiles/gdmp_catalog.dir/filter.cpp.o.d"
+  "CMakeFiles/gdmp_catalog.dir/ldap_store.cpp.o"
+  "CMakeFiles/gdmp_catalog.dir/ldap_store.cpp.o.d"
+  "CMakeFiles/gdmp_catalog.dir/replica_catalog.cpp.o"
+  "CMakeFiles/gdmp_catalog.dir/replica_catalog.cpp.o.d"
+  "libgdmp_catalog.a"
+  "libgdmp_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_common.dir/crc32.cpp.o"
+  "CMakeFiles/gdmp_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/gdmp_common.dir/logging.cpp.o"
+  "CMakeFiles/gdmp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gdmp_common.dir/random.cpp.o"
+  "CMakeFiles/gdmp_common.dir/random.cpp.o.d"
+  "CMakeFiles/gdmp_common.dir/result.cpp.o"
+  "CMakeFiles/gdmp_common.dir/result.cpp.o.d"
+  "CMakeFiles/gdmp_common.dir/stats.cpp.o"
+  "CMakeFiles/gdmp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gdmp_common.dir/string_util.cpp.o"
+  "CMakeFiles/gdmp_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/gdmp_common.dir/uri.cpp.o"
+  "CMakeFiles/gdmp_common.dir/uri.cpp.o.d"
+  "libgdmp_common.a"
+  "libgdmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdmp/catalog_service.cpp" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/catalog_service.cpp.o" "gcc" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/catalog_service.cpp.o.d"
+  "/root/repo/src/gdmp/client.cpp" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/client.cpp.o" "gcc" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/client.cpp.o.d"
+  "/root/repo/src/gdmp/data_mover.cpp" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/data_mover.cpp.o" "gcc" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/data_mover.cpp.o.d"
+  "/root/repo/src/gdmp/file_type.cpp" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/file_type.cpp.o" "gcc" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/file_type.cpp.o.d"
+  "/root/repo/src/gdmp/replica_selection.cpp" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/replica_selection.cpp.o" "gcc" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/replica_selection.cpp.o.d"
+  "/root/repo/src/gdmp/server.cpp" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/server.cpp.o" "gcc" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/server.cpp.o.d"
+  "/root/repo/src/gdmp/storage_manager.cpp" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/storage_manager.cpp.o" "gcc" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/storage_manager.cpp.o.d"
+  "/root/repo/src/gdmp/types.cpp" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/types.cpp.o" "gcc" "src/gdmp/CMakeFiles/gdmp_gdmp.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/gdmp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/gdmp_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/gdmp_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gdmp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gdmp_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gdmp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

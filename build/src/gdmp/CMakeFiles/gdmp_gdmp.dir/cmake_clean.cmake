@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_gdmp.dir/catalog_service.cpp.o"
+  "CMakeFiles/gdmp_gdmp.dir/catalog_service.cpp.o.d"
+  "CMakeFiles/gdmp_gdmp.dir/client.cpp.o"
+  "CMakeFiles/gdmp_gdmp.dir/client.cpp.o.d"
+  "CMakeFiles/gdmp_gdmp.dir/data_mover.cpp.o"
+  "CMakeFiles/gdmp_gdmp.dir/data_mover.cpp.o.d"
+  "CMakeFiles/gdmp_gdmp.dir/file_type.cpp.o"
+  "CMakeFiles/gdmp_gdmp.dir/file_type.cpp.o.d"
+  "CMakeFiles/gdmp_gdmp.dir/replica_selection.cpp.o"
+  "CMakeFiles/gdmp_gdmp.dir/replica_selection.cpp.o.d"
+  "CMakeFiles/gdmp_gdmp.dir/server.cpp.o"
+  "CMakeFiles/gdmp_gdmp.dir/server.cpp.o.d"
+  "CMakeFiles/gdmp_gdmp.dir/storage_manager.cpp.o"
+  "CMakeFiles/gdmp_gdmp.dir/storage_manager.cpp.o.d"
+  "CMakeFiles/gdmp_gdmp.dir/types.cpp.o"
+  "CMakeFiles/gdmp_gdmp.dir/types.cpp.o.d"
+  "libgdmp_gdmp.a"
+  "libgdmp_gdmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_gdmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

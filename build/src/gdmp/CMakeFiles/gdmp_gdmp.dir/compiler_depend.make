@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gdmp_gdmp.
+# This may be replaced when dependencies are built.

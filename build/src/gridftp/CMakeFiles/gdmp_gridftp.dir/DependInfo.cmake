@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gridftp/block_stream.cpp" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/block_stream.cpp.o" "gcc" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/block_stream.cpp.o.d"
+  "/root/repo/src/gridftp/client.cpp" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/client.cpp.o" "gcc" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/client.cpp.o.d"
+  "/root/repo/src/gridftp/protocol.cpp" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/protocol.cpp.o" "gcc" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/protocol.cpp.o.d"
+  "/root/repo/src/gridftp/server.cpp" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/server.cpp.o" "gcc" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/server.cpp.o.d"
+  "/root/repo/src/gridftp/url_copy.cpp" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/url_copy.cpp.o" "gcc" "src/gridftp/CMakeFiles/gdmp_gridftp.dir/url_copy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gdmp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gdmp_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gdmp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_gridftp.dir/block_stream.cpp.o"
+  "CMakeFiles/gdmp_gridftp.dir/block_stream.cpp.o.d"
+  "CMakeFiles/gdmp_gridftp.dir/client.cpp.o"
+  "CMakeFiles/gdmp_gridftp.dir/client.cpp.o.d"
+  "CMakeFiles/gdmp_gridftp.dir/protocol.cpp.o"
+  "CMakeFiles/gdmp_gridftp.dir/protocol.cpp.o.d"
+  "CMakeFiles/gdmp_gridftp.dir/server.cpp.o"
+  "CMakeFiles/gdmp_gridftp.dir/server.cpp.o.d"
+  "CMakeFiles/gdmp_gridftp.dir/url_copy.cpp.o"
+  "CMakeFiles/gdmp_gridftp.dir/url_copy.cpp.o.d"
+  "libgdmp_gridftp.a"
+  "libgdmp_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

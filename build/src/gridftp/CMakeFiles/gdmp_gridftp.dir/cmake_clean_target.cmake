@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgdmp_gridftp.a"
+)

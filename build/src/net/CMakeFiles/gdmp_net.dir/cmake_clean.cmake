@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_net.dir/cross_traffic.cpp.o"
+  "CMakeFiles/gdmp_net.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/gdmp_net.dir/link.cpp.o"
+  "CMakeFiles/gdmp_net.dir/link.cpp.o.d"
+  "CMakeFiles/gdmp_net.dir/network.cpp.o"
+  "CMakeFiles/gdmp_net.dir/network.cpp.o.d"
+  "CMakeFiles/gdmp_net.dir/node.cpp.o"
+  "CMakeFiles/gdmp_net.dir/node.cpp.o.d"
+  "CMakeFiles/gdmp_net.dir/tcp.cpp.o"
+  "CMakeFiles/gdmp_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/gdmp_net.dir/topology.cpp.o"
+  "CMakeFiles/gdmp_net.dir/topology.cpp.o.d"
+  "libgdmp_net.a"
+  "libgdmp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

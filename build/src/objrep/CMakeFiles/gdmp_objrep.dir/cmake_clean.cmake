@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_objrep.dir/global_index.cpp.o"
+  "CMakeFiles/gdmp_objrep.dir/global_index.cpp.o.d"
+  "CMakeFiles/gdmp_objrep.dir/replicator.cpp.o"
+  "CMakeFiles/gdmp_objrep.dir/replicator.cpp.o.d"
+  "CMakeFiles/gdmp_objrep.dir/selection.cpp.o"
+  "CMakeFiles/gdmp_objrep.dir/selection.cpp.o.d"
+  "libgdmp_objrep.a"
+  "libgdmp_objrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_objrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

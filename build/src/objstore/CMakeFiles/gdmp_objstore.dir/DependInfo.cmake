@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objstore/federation.cpp" "src/objstore/CMakeFiles/gdmp_objstore.dir/federation.cpp.o" "gcc" "src/objstore/CMakeFiles/gdmp_objstore.dir/federation.cpp.o.d"
+  "/root/repo/src/objstore/object_copier.cpp" "src/objstore/CMakeFiles/gdmp_objstore.dir/object_copier.cpp.o" "gcc" "src/objstore/CMakeFiles/gdmp_objstore.dir/object_copier.cpp.o.d"
+  "/root/repo/src/objstore/object_file_catalog.cpp" "src/objstore/CMakeFiles/gdmp_objstore.dir/object_file_catalog.cpp.o" "gcc" "src/objstore/CMakeFiles/gdmp_objstore.dir/object_file_catalog.cpp.o.d"
+  "/root/repo/src/objstore/object_model.cpp" "src/objstore/CMakeFiles/gdmp_objstore.dir/object_model.cpp.o" "gcc" "src/objstore/CMakeFiles/gdmp_objstore.dir/object_model.cpp.o.d"
+  "/root/repo/src/objstore/persistency.cpp" "src/objstore/CMakeFiles/gdmp_objstore.dir/persistency.cpp.o" "gcc" "src/objstore/CMakeFiles/gdmp_objstore.dir/persistency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gdmp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_objstore.dir/federation.cpp.o"
+  "CMakeFiles/gdmp_objstore.dir/federation.cpp.o.d"
+  "CMakeFiles/gdmp_objstore.dir/object_copier.cpp.o"
+  "CMakeFiles/gdmp_objstore.dir/object_copier.cpp.o.d"
+  "CMakeFiles/gdmp_objstore.dir/object_file_catalog.cpp.o"
+  "CMakeFiles/gdmp_objstore.dir/object_file_catalog.cpp.o.d"
+  "CMakeFiles/gdmp_objstore.dir/object_model.cpp.o"
+  "CMakeFiles/gdmp_objstore.dir/object_model.cpp.o.d"
+  "CMakeFiles/gdmp_objstore.dir/persistency.cpp.o"
+  "CMakeFiles/gdmp_objstore.dir/persistency.cpp.o.d"
+  "libgdmp_objstore.a"
+  "libgdmp_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gdmp_objstore.
+# This may be replaced when dependencies are built.

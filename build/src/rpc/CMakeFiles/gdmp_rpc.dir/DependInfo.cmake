@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/message.cpp" "src/rpc/CMakeFiles/gdmp_rpc.dir/message.cpp.o" "gcc" "src/rpc/CMakeFiles/gdmp_rpc.dir/message.cpp.o.d"
+  "/root/repo/src/rpc/rpc_client.cpp" "src/rpc/CMakeFiles/gdmp_rpc.dir/rpc_client.cpp.o" "gcc" "src/rpc/CMakeFiles/gdmp_rpc.dir/rpc_client.cpp.o.d"
+  "/root/repo/src/rpc/rpc_server.cpp" "src/rpc/CMakeFiles/gdmp_rpc.dir/rpc_server.cpp.o" "gcc" "src/rpc/CMakeFiles/gdmp_rpc.dir/rpc_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gdmp_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

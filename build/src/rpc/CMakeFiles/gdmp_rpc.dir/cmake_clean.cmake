@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_rpc.dir/message.cpp.o"
+  "CMakeFiles/gdmp_rpc.dir/message.cpp.o.d"
+  "CMakeFiles/gdmp_rpc.dir/rpc_client.cpp.o"
+  "CMakeFiles/gdmp_rpc.dir/rpc_client.cpp.o.d"
+  "CMakeFiles/gdmp_rpc.dir/rpc_server.cpp.o"
+  "CMakeFiles/gdmp_rpc.dir/rpc_server.cpp.o.d"
+  "libgdmp_rpc.a"
+  "libgdmp_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_security.dir/acl.cpp.o"
+  "CMakeFiles/gdmp_security.dir/acl.cpp.o.d"
+  "CMakeFiles/gdmp_security.dir/credentials.cpp.o"
+  "CMakeFiles/gdmp_security.dir/credentials.cpp.o.d"
+  "CMakeFiles/gdmp_security.dir/gsi.cpp.o"
+  "CMakeFiles/gdmp_security.dir/gsi.cpp.o.d"
+  "libgdmp_security.a"
+  "libgdmp_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/gdmp_sim.dir/simulator.cpp.o.d"
+  "libgdmp_sim.a"
+  "libgdmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cpp" "src/storage/CMakeFiles/gdmp_storage.dir/disk.cpp.o" "gcc" "src/storage/CMakeFiles/gdmp_storage.dir/disk.cpp.o.d"
+  "/root/repo/src/storage/disk_pool.cpp" "src/storage/CMakeFiles/gdmp_storage.dir/disk_pool.cpp.o" "gcc" "src/storage/CMakeFiles/gdmp_storage.dir/disk_pool.cpp.o.d"
+  "/root/repo/src/storage/file_system.cpp" "src/storage/CMakeFiles/gdmp_storage.dir/file_system.cpp.o" "gcc" "src/storage/CMakeFiles/gdmp_storage.dir/file_system.cpp.o.d"
+  "/root/repo/src/storage/hrm.cpp" "src/storage/CMakeFiles/gdmp_storage.dir/hrm.cpp.o" "gcc" "src/storage/CMakeFiles/gdmp_storage.dir/hrm.cpp.o.d"
+  "/root/repo/src/storage/mss.cpp" "src/storage/CMakeFiles/gdmp_storage.dir/mss.cpp.o" "gcc" "src/storage/CMakeFiles/gdmp_storage.dir/mss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gdmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

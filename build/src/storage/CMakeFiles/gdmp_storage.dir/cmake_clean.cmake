@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_storage.dir/disk.cpp.o"
+  "CMakeFiles/gdmp_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/gdmp_storage.dir/disk_pool.cpp.o"
+  "CMakeFiles/gdmp_storage.dir/disk_pool.cpp.o.d"
+  "CMakeFiles/gdmp_storage.dir/file_system.cpp.o"
+  "CMakeFiles/gdmp_storage.dir/file_system.cpp.o.d"
+  "CMakeFiles/gdmp_storage.dir/hrm.cpp.o"
+  "CMakeFiles/gdmp_storage.dir/hrm.cpp.o.d"
+  "CMakeFiles/gdmp_storage.dir/mss.cpp.o"
+  "CMakeFiles/gdmp_storage.dir/mss.cpp.o.d"
+  "libgdmp_storage.a"
+  "libgdmp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdmp_testbed.dir/grid.cpp.o"
+  "CMakeFiles/gdmp_testbed.dir/grid.cpp.o.d"
+  "CMakeFiles/gdmp_testbed.dir/site.cpp.o"
+  "CMakeFiles/gdmp_testbed.dir/site.cpp.o.d"
+  "CMakeFiles/gdmp_testbed.dir/workload.cpp.o"
+  "CMakeFiles/gdmp_testbed.dir/workload.cpp.o.d"
+  "libgdmp_testbed.a"
+  "libgdmp_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdmp_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

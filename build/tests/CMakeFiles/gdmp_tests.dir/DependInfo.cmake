@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_catalog.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_catalog.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_gdmp.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_gdmp.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_gdmp.cpp.o.d"
+  "/root/repo/tests/test_gdmp_extended.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_gdmp_extended.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_gdmp_extended.cpp.o.d"
+  "/root/repo/tests/test_gridftp.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_gridftp.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_gridftp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_net_tcp.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_net_tcp.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_net_tcp.cpp.o.d"
+  "/root/repo/tests/test_objrep.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_objrep.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_objrep.cpp.o.d"
+  "/root/repo/tests/test_objstore.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_objstore.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_objstore.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rpc.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_rpc.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_rpc.cpp.o.d"
+  "/root/repo/tests/test_security.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_security.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_security.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_storage.cpp.o.d"
+  "/root/repo/tests/test_testbed.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_testbed.cpp.o.d"
+  "/root/repo/tests/test_url_copy.cpp" "tests/CMakeFiles/gdmp_tests.dir/test_url_copy.cpp.o" "gcc" "tests/CMakeFiles/gdmp_tests.dir/test_url_copy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/gdmp_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/objrep/CMakeFiles/gdmp_objrep.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdmp/CMakeFiles/gdmp_gdmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/gdmp_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/gdmp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gdmp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/gdmp_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/gdmp_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gdmp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gdmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gdmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
