@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + test the default and asan presets.
+#
+#   scripts/check.sh            # both presets
+#   scripts/check.sh default    # just one
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> configure [$preset]"
+  cmake --preset "$preset"
+  echo "==> build [$preset]"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "==> test [$preset]"
+  ctest --preset "$preset"
+done
+echo "==> all checks passed: ${presets[*]}"

@@ -191,7 +191,22 @@ void GdmpServer::subscribe_to(net::NodeId producer, net::Port producer_port,
             });
 }
 
-void GdmpServer::replicate(const LogicalFileName& lfn, ReplicateDone done) {
+namespace {
+
+/// The single clamp/validation point for selector output: a selector that
+/// returns an out-of-range index gets the first candidate (and a warning)
+/// instead of poisoning the modulo arithmetic downstream.
+std::size_t sanitize_selected_index(std::size_t index, std::size_t count) {
+  if (index < count) return index;
+  GDMP_WARN("gdmp.server", "replica selector returned index ", index,
+            " for ", count, " candidates; falling back to 0");
+  return 0;
+}
+
+}  // namespace
+
+void GdmpServer::replicate(const LogicalFileName& lfn,
+                           ReplicateOptions options, ReplicateDone done) {
   const std::string local_path = local_path_for(lfn);
   if (site_.pool.contains(local_path)) {
     done(make_error(ErrorCode::kAlreadyExists,
@@ -201,7 +216,8 @@ void GdmpServer::replicate(const LogicalFileName& lfn, ReplicateDone done) {
   std::weak_ptr<bool> alive = alive_;
   catalog_client_.lookup(
       config_.collection, lfn,
-      [this, alive, lfn, local_path, done](Result<ReplicaInfo> info) {
+      [this, alive, lfn, local_path, options = std::move(options),
+       done](Result<ReplicaInfo> info) {
         if (alive.expired()) return;
         if (!info.is_ok()) {
           ++stats_.replication_failures;
@@ -222,14 +238,28 @@ void GdmpServer::replicate(const LogicalFileName& lfn, ReplicateDone done) {
                           "no remote replica of " + lfn));
           return;
         }
-        const Uri source = candidates[selector_(candidates) %
-                                      candidates.size()];
+        std::size_t index;
+        if (options.choose_source) {
+          auto chosen = options.choose_source(candidates);
+          if (!chosen.is_ok()) {
+            // Admission refusal (e.g. all sources at capacity) — not a
+            // replication failure; the caller retries on its own terms.
+            done(chosen.status());
+            return;
+          }
+          index = sanitize_selected_index(*chosen, candidates.size());
+        } else {
+          index = sanitize_selected_index(selector_(candidates),
+                                          candidates.size());
+        }
+        const Uri source = candidates[index];
         auto source_node = resolver_(source.host);
         if (!source_node.is_ok()) {
           ++stats_.replication_failures;
           done(source_node.status());
           return;
         }
+        if (options.on_source) options.on_source(source.host);
 
         PublishedFile file;
         file.lfn = lfn;
@@ -304,6 +334,7 @@ void GdmpServer::finish_replication(const LogicalFileName& lfn,
     done(std::move(transfer));
     return;
   }
+  if (on_transfer_observed) on_transfer_observed(source.host, *transfer);
   std::weak_ptr<bool> alive = alive_;
   FileTypePlugin& plugin = plugins_.plugin_for(file.file_type);
   plugin.post_process(
@@ -428,6 +459,13 @@ void GdmpServer::handle_notify(const security::GsiContext& peer_ctx,
     ++stats_.notifications_received;
     if (on_notification) on_notification(from_site, file);
     if (config_.auto_replicate_on_notify) {
+      if (enqueue_replication_) {
+        // A scheduler owns the consumer path: queue instead of firing a
+        // concurrency-unbounded replicate() per notification.
+        ++stats_.notifications_queued;
+        enqueue_replication_(file);
+        continue;
+      }
       replicate(file.lfn, [lfn = file.lfn](
                               Result<gridftp::TransferResult> result) {
         if (!result.is_ok() &&

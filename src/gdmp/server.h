@@ -45,6 +45,11 @@ struct GdmpServerStats {
   std::int64_t files_replicated = 0;
   std::int64_t replication_failures = 0;
   std::int64_t stage_requests_served = 0;
+  // Replication-scheduler pipeline (fed by sched::ReplicationScheduler, so
+  // one stats() read covers the whole consumer path).
+  std::int64_t replications_retried = 0;
+  std::int64_t replications_dead_lettered = 0;
+  std::int64_t notifications_queued = 0;
 };
 
 class GdmpServer {
@@ -60,6 +65,22 @@ class GdmpServer {
   using PublishDone = std::function<void(Status)>;
   using ReplicateDone =
       std::function<void(Result<gridftp::TransferResult>)>;
+
+  /// Per-request source choice. Unlike ReplicaSelector it may *refuse* the
+  /// request (e.g. every candidate's site is at its concurrency cap) by
+  /// returning an error; the request then fails with that status without
+  /// counting as a replication failure, and the caller decides what to do.
+  using SourceChooser =
+      std::function<Result<std::size_t>(const std::vector<Uri>&)>;
+
+  /// Per-request overrides for replicate().
+  struct ReplicateOptions {
+    /// Overrides the installed selector for this request only.
+    SourceChooser choose_source;
+    /// Invoked once a source replica has been chosen and resolved, before
+    /// any staging or transfer work starts.
+    std::function<void(const std::string& source_host)> on_source;
+  };
 
   GdmpServer(SiteServices& site, GdmpConfig config, HostResolver resolver);
   ~GdmpServer();
@@ -82,7 +103,11 @@ class GdmpServer {
                     std::function<void(Status)> done);
 
   /// Replicates one logical file to this site (full §4.1 step sequence).
-  void replicate(const LogicalFileName& lfn, ReplicateDone done);
+  void replicate(const LogicalFileName& lfn, ReplicateDone done) {
+    replicate(lfn, ReplicateOptions{}, std::move(done));
+  }
+  void replicate(const LogicalFileName& lfn, ReplicateOptions options,
+                 ReplicateDone done);
 
   /// Fetches a remote site's export catalog (failure recovery service).
   void fetch_remote_catalog(
@@ -92,6 +117,21 @@ class GdmpServer {
   /// Hook invoked for every notified file (before any auto-replication).
   std::function<void(const std::string& from_site, const PublishedFile&)>
       on_notification;
+
+  /// Observer fed with every successful inbound transfer's source host and
+  /// measured result — the bandwidth-history input of cost-aware replica
+  /// selection [VTF01].
+  std::function<void(const std::string& source_host,
+                     const gridftp::TransferResult&)>
+      on_transfer_observed;
+
+  /// When installed, auto-replication triggered by a notification enqueues
+  /// the file here (a replication scheduler) instead of firing replicate()
+  /// inline; such enqueues are counted in stats().notifications_queued.
+  using ReplicationEnqueue = std::function<void(const PublishedFile&)>;
+  void set_replication_enqueue(ReplicationEnqueue enqueue) {
+    enqueue_replication_ = std::move(enqueue);
+  }
 
   // ---- Introspection -----------------------------------------------------
   const std::map<LogicalFileName, PublishedFile>& export_catalog()
@@ -116,6 +156,13 @@ class GdmpServer {
   }
   void set_replica_selector(ReplicaSelector selector) {
     selector_ = std::move(selector);
+  }
+
+  // Scheduler feedback, recorded here so the server's stats block covers
+  // the whole replication pipeline.
+  void note_replication_retried() noexcept { ++stats_.replications_retried; }
+  void note_replication_dead_lettered() noexcept {
+    ++stats_.replications_dead_lettered;
   }
 
   /// Site-local pool path of a logical file.
@@ -168,6 +215,7 @@ class GdmpServer {
   StorageManager storage_manager_;
   FileTypeRegistry plugins_;
   ReplicaSelector selector_;
+  ReplicationEnqueue enqueue_replication_;
   security::AccessControl acl_;
   bool use_acl_ = false;
   Rng rng_;

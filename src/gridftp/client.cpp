@@ -562,7 +562,12 @@ void FtpClient::complete(const std::shared_ptr<Transfer>& transfer,
                          Result<TransferResult> result) {
   if (transfer->finished) return;
   transfer->finished = true;
-  if (transfer->monitor) transfer->monitor->stop();
+  if (transfer->monitor) {
+    transfer->monitor->stop();
+    // The timer's callback captures `transfer`; destroying the timer breaks
+    // that reference cycle (stop() alone leaves the closure alive).
+    transfer->monitor.reset();
+  }
   transfer->close_streams();
   if (transfer->rpc) transfer->rpc->close();
   if (transfer->done) transfer->done(std::move(result));

@@ -129,6 +129,24 @@ FtpServer::~FtpServer() {
   for (auto& [token, session] : sessions_) {
     stack_.close_listener(session->data_port);
     stack_.simulator().cancel(session->idle_timer);
+    // Break the callback cycles of sessions still open at teardown (their
+    // parser/conn closures capture the session and stream shared_ptrs).
+    for (auto& stream : session->streams) {
+      if (!stream) continue;
+      stream->parser.on_payload = nullptr;
+      stream->parser.on_block_begin = nullptr;
+      stream->parser.on_block_end = nullptr;
+      stream->parser.on_eod = nullptr;
+      stream->parser.on_error = nullptr;
+      if (stream->conn) {
+        stream->conn->on_data = nullptr;
+        stream->conn->on_synthetic_data = nullptr;
+        stream->conn->on_closed = nullptr;
+        stream->conn->on_send_drained = nullptr;
+        stream->conn.reset();
+      }
+    }
+    session->streams.clear();
   }
 }
 
@@ -208,9 +226,14 @@ void FtpServer::on_data_connection(const std::shared_ptr<DataSession>& session,
   auto pending = std::make_shared<std::vector<std::uint8_t>>();
   std::weak_ptr<bool> alive = alive_;
   auto raw = conn.get();
-  raw->on_data = [this, alive, session, conn,
+  // Capture the connection weakly: the stack owns it while it is open, and
+  // a strong self-capture (conn -> on_data -> conn) would leak it.
+  std::weak_ptr<net::TcpConnection> weak_conn = conn;
+  raw->on_data = [this, alive, session, weak_conn,
                   pending](std::span<const std::uint8_t> data) {
     if (alive.expired()) return;
+    auto conn = weak_conn.lock();
+    if (!conn) return;
     pending->insert(pending->end(), data.begin(), data.end());
     if (pending->size() < DataHello::kWireSize) return;
     const auto hello = DataHello::decode(*pending);
@@ -221,14 +244,18 @@ void FtpServer::on_data_connection(const std::shared_ptr<DataSession>& session,
     }
     std::vector<std::uint8_t> leftover(
         pending->begin() + DataHello::kWireSize, pending->end());
+    // attach_stream() replaces conn->on_data — i.e. this very closure.
+    // Move it into this frame first so its captures (session, conn,
+    // pending) outlive the remainder of the call.
+    auto keep_this_closure_alive = std::move(conn->on_data);
     attach_stream(session, *hello, conn);
     if (!leftover.empty() &&
         session->streams[hello->stream_index]) {
       session->streams[hello->stream_index]->parser.feed_data(leftover);
     }
   };
-  raw->on_synthetic_data = [conn](Bytes) {
-    conn->abort();  // synthetic bytes before hello: protocol violation
+  raw->on_synthetic_data = [raw](Bytes) {
+    raw->abort();  // synthetic bytes before hello: protocol violation
   };
 }
 
@@ -619,6 +646,29 @@ void FtpServer::destroy_session(const std::shared_ptr<DataSession>& session) {
     }
   }
   sessions_.erase(session->token);
+  // The parser/conn callbacks of already-closed streams still capture the
+  // session and stream shared_ptrs (a reference cycle that would leak the
+  // whole session web). One of those closures may be the frame we are
+  // currently executing in, so break the cycle from a fresh event instead
+  // of clearing the callbacks inline.
+  stack_.simulator().schedule(0, [session] {
+    for (auto& stream : session->streams) {
+      if (!stream) continue;
+      stream->parser.on_payload = nullptr;
+      stream->parser.on_block_begin = nullptr;
+      stream->parser.on_block_end = nullptr;
+      stream->parser.on_eod = nullptr;
+      stream->parser.on_error = nullptr;
+      if (stream->conn) {
+        stream->conn->on_data = nullptr;
+        stream->conn->on_synthetic_data = nullptr;
+        stream->conn->on_closed = nullptr;
+        stream->conn->on_send_drained = nullptr;
+        stream->conn.reset();
+      }
+    }
+    session->streams.clear();
+  });
 }
 
 }  // namespace gdmp::gridftp

@@ -56,6 +56,11 @@ class FtpServer {
   void stop();
 
   const FtpServerStats& stats() const noexcept { return stats_; }
+  /// Runtime flaky-link toggle: corruption probability of each data block
+  /// from now on (tests/benches flip a healthy server bad and back).
+  void set_corrupt_probability(double p) noexcept {
+    config_.corrupt_probability = p;
+  }
   storage::DiskPool& pool() noexcept { return pool_; }
   net::Port control_port() const noexcept { return config_.control_port; }
   net::TcpStack& stack() noexcept { return stack_; }

@@ -24,13 +24,19 @@ std::vector<std::uint8_t> encode_frame(const RpcMessage& message) {
 Status FrameDecoder::feed(std::span<const std::uint8_t> data,
                           const std::function<void(RpcMessage)>& sink) {
   buffer_.insert(buffer_.end(), data.begin(), data.end());
+  // Extract every complete frame before dispatching any of them: a sink
+  // callback may destroy this decoder's owner (completing a call can drop
+  // the whole client), so no member may be touched after the first sink().
+  std::vector<RpcMessage> ready;
+  Status status = Status::ok();
   std::size_t cursor = 0;
   while (buffer_.size() - cursor >= 4) {
     std::uint32_t length = 0;
     std::memcpy(&length, buffer_.data() + cursor, 4);
     if (length > kMaxFrame) {
-      return make_error(ErrorCode::kInvalidArgument,
-                        "oversized RPC frame: " + std::to_string(length));
+      status = make_error(ErrorCode::kInvalidArgument,
+                          "oversized RPC frame: " + std::to_string(length));
+      break;
     }
     if (buffer_.size() - cursor - 4 < length) break;
     Reader r(std::span<const std::uint8_t>(buffer_.data() + cursor + 4,
@@ -43,14 +49,16 @@ Status FrameDecoder::feed(std::span<const std::uint8_t> data,
     message.status_message = r.str();
     message.payload = r.bytes();
     if (!r.ok()) {
-      return make_error(ErrorCode::kInvalidArgument, "malformed RPC frame");
+      status = make_error(ErrorCode::kInvalidArgument, "malformed RPC frame");
+      break;
     }
     cursor += 4 + length;
-    sink(std::move(message));
+    ready.push_back(std::move(message));
   }
   buffer_.erase(buffer_.begin(),
                 buffer_.begin() + static_cast<std::ptrdiff_t>(cursor));
-  return Status::ok();
+  for (RpcMessage& message : ready) sink(std::move(message));
+  return status;
 }
 
 }  // namespace gdmp::rpc

@@ -103,8 +103,15 @@ void RpcClient::ensure_connection() {
 }
 
 void RpcClient::on_data(std::span<const std::uint8_t> data) {
-  const Status status =
-      decoder_.feed(data, [this](RpcMessage m) { on_message(std::move(m)); });
+  // Completing a call can destroy this client from inside on_message (a
+  // continuation owning the client drops it); guard every step after the
+  // first dispatch.
+  std::weak_ptr<bool> alive = alive_;
+  const Status status = decoder_.feed(data, [this, alive](RpcMessage m) {
+    if (alive.expired()) return;
+    on_message(std::move(m));
+  });
+  if (alive.expired()) return;
   if (!status.is_ok()) {
     GDMP_WARN("rpc.client", "protocol error: ", status.to_string());
     conn_->abort();

@@ -21,7 +21,19 @@ RpcServer::RpcServer(net::TcpStack& stack, net::Port port,
       acceptor_(ca, std::move(credential)),
       tcp_config_(tcp_config) {}
 
-RpcServer::~RpcServer() { stop(); }
+RpcServer::~RpcServer() {
+  *alive_ = false;
+  stop();
+  // Sessions whose connection never closed are kept alive purely by their
+  // own conn-callback captures; drop those so the web is released.
+  for (auto& [id, session] : sessions_) {
+    if (session->conn) {
+      session->conn->on_data = nullptr;
+      session->conn->on_closed = nullptr;
+      session->conn->close();
+    }
+  }
+}
 
 void RpcServer::register_method(std::string name, Handler handler) {
   methods_[std::move(name)] = std::move(handler);
@@ -57,12 +69,16 @@ void RpcServer::on_accept(net::TcpConnection::Ptr conn) {
       session->conn->abort();
     }
   };
-  session->conn->on_closed = [session](const Status&) {
+  session->conn->on_closed = [this, alive, session](const Status&) {
     // Session keeps itself alive through the captures; dropping the
-    // callbacks here releases the cycle.
+    // callbacks here releases the cycle. Clearing on_closed destroys this
+    // very closure, so move it into the frame first.
+    auto keep_this_closure_alive = std::move(session->conn->on_closed);
     session->conn->on_data = nullptr;
     session->conn->on_closed = nullptr;
+    if (!alive.expired()) sessions_.erase(session->id);
   };
+  sessions_.emplace(session->id, session);
 }
 
 void RpcServer::on_message(const std::shared_ptr<Session>& session,

@@ -63,6 +63,7 @@ class RpcServer {
   security::GsiAcceptor acceptor_;
   net::TcpConfig tcp_config_;
   std::unordered_map<std::string, Handler> methods_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   bool listening_ = false;
   std::uint64_t next_session_id_ = 1;
   std::int64_t requests_served_ = 0;

@@ -1,0 +1,262 @@
+#include "sched/replication_scheduler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gdmp::sched {
+
+ReplicationScheduler::ReplicationScheduler(core::GdmpServer& server,
+                                           SchedulerConfig config)
+    : server_(server),
+      config_(config),
+      selector_(config.selector_smoothing),
+      rng_(config.seed ^ std::hash<std::string>{}(server.site().site_name)) {
+  if (config_.max_concurrent < 1) config_.max_concurrent = 1;
+  if (config_.max_per_source < 1) config_.max_per_source = 1;
+  if (config_.max_attempts < 1) config_.max_attempts = 1;
+
+  // Attach to the server: cost-aware selection replaces the first-URL
+  // stub, completed transfers feed the bandwidth history, and notification
+  // auto-replication queues here.
+  std::weak_ptr<bool> alive = alive_;
+  server_.set_replica_selector(selector_.selector_fn());
+  server_.on_transfer_observed =
+      [this, alive](const std::string& host,
+                    const gridftp::TransferResult& result) {
+        if (alive.expired()) return;
+        selector_.record(host, result);
+      };
+  server_.set_replication_enqueue(
+      [this, alive](const core::PublishedFile& file) {
+        if (alive.expired()) return;
+        submit(file.lfn);
+      });
+}
+
+ReplicationScheduler::~ReplicationScheduler() {
+  *alive_ = false;
+  server_.set_replica_selector(core::first_replica_selector());
+  server_.on_transfer_observed = nullptr;
+  server_.set_replication_enqueue(nullptr);
+}
+
+std::uint64_t ReplicationScheduler::submit(LogicalFileName lfn, int priority,
+                                           Done done) {
+  const std::uint64_t id = next_id_++;
+  Request request;
+  request.id = id;
+  request.lfn = std::move(lfn);
+  request.priority = priority;
+  request.seq = next_seq_++;
+  request.done = std::move(done);
+  ready_.insert(ReadyKey{request.priority, request.seq, id});
+  requests_.emplace(id, std::move(request));
+  ++stats_.submitted;
+  pump();
+  return id;
+}
+
+void ReplicationScheduler::submit_batch(
+    const std::vector<LogicalFileName>& lfns, int priority, BatchDone done) {
+  if (lfns.empty()) {
+    if (done) done(Status::ok(), 0);
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(lfns.size());
+  auto first_error = std::make_shared<Status>();
+  auto bytes = std::make_shared<Bytes>(0);
+  for (const LogicalFileName& lfn : lfns) {
+    submit(lfn, priority,
+           [remaining, first_error, bytes,
+            done](Result<gridftp::TransferResult> result) {
+             if (result.is_ok()) {
+               *bytes += result->bytes;
+             } else if (result.code() != ErrorCode::kAlreadyExists &&
+                        first_error->is_ok()) {
+               *first_error = result.status();
+             }
+             if (--*remaining == 0 && done) done(*first_error, *bytes);
+           });
+  }
+}
+
+bool ReplicationScheduler::cancel(std::uint64_t id) {
+  const auto it = requests_.find(id);
+  if (it == requests_.end() || it->second.in_flight) return false;
+  ready_.erase(ReadyKey{it->second.priority, it->second.seq, id});
+  std::erase(deferred_, id);
+  Done done = std::move(it->second.done);
+  const LogicalFileName lfn = it->second.lfn;
+  requests_.erase(it);
+  ++stats_.cancelled;
+  if (done) {
+    done(make_error(ErrorCode::kAborted, "replication cancelled: " + lfn));
+  }
+  return true;
+}
+
+void ReplicationScheduler::pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (active_ < config_.max_concurrent && !ready_.empty()) {
+    const ReadyKey key = *ready_.begin();
+    ready_.erase(ready_.begin());
+    const auto it = requests_.find(key.id);
+    if (it == requests_.end()) continue;
+    dispatch(it->second);
+  }
+  pumping_ = false;
+}
+
+void ReplicationScheduler::dispatch(Request& request) {
+  request.in_flight = true;
+  request.busy_bounced = false;
+  request.source.clear();
+  ++request.attempts;
+  ++active_;
+  stats_.peak_active = std::max(stats_.peak_active, active_);
+
+  const std::uint64_t id = request.id;
+  const LogicalFileName lfn = request.lfn;
+  std::weak_ptr<bool> alive = alive_;
+
+  core::GdmpServer::ReplicateOptions options;
+  options.choose_source =
+      [this, alive, id](const std::vector<Uri>& candidates)
+      -> Result<std::size_t> {
+    if (alive.expired()) return std::size_t{0};
+    // Best-ranked source whose site is under its in-flight cap.
+    for (const std::size_t index : selector_.rank(candidates)) {
+      if (in_flight_to(candidates[index].host) < config_.max_per_source) {
+        return index;
+      }
+    }
+    const auto it = requests_.find(id);
+    if (it != requests_.end()) it->second.busy_bounced = true;
+    ++stats_.busy_deferrals;
+    return make_error(ErrorCode::kResourceExhausted,
+                      "every source site at its in-flight cap");
+  };
+  options.on_source = [this, alive, id](const std::string& host) {
+    if (alive.expired()) return;
+    const auto it = requests_.find(id);
+    if (it == requests_.end()) return;
+    it->second.source = host;
+    ++per_source_[host];
+    if (!selector_.measured(host)) selector_.note_probe(host);
+  };
+
+  // NOTE: `request` may be invalidated below — replicate() can complete
+  // synchronously (replica already on site).
+  server_.replicate(lfn, std::move(options),
+                    [this, alive, id](Result<gridftp::TransferResult> result) {
+                      if (alive.expired()) return;
+                      on_attempt_done(id, std::move(result));
+                    });
+}
+
+void ReplicationScheduler::on_attempt_done(
+    std::uint64_t id, Result<gridftp::TransferResult> result) {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) return;
+  Request& request = it->second;
+  request.in_flight = false;
+  --active_;
+
+  const std::string source = request.source;
+  if (!source.empty()) {
+    const auto ps = per_source_.find(source);
+    if (ps != per_source_.end() && --ps->second <= 0) per_source_.erase(ps);
+    request.source.clear();
+  }
+
+  if (request.busy_bounced) {
+    // Not a failure and not an attempt: park until a slot frees up.
+    request.busy_bounced = false;
+    --request.attempts;
+    deferred_.push_back(id);
+    pump();
+    return;
+  }
+
+  if (result.is_ok() || result.code() == ErrorCode::kAlreadyExists) {
+    if (result.is_ok()) {
+      stats_.bytes_moved += result->bytes;
+      if (!source.empty()) ++stats_.completed_by_source[source];
+    }
+    ++stats_.completed;
+    settle(it, std::move(result));
+    return;
+  }
+
+  if (!source.empty()) selector_.record_failure(source);
+
+  if (request.attempts >= config_.max_attempts) {
+    GDMP_WARN("sched", "dead-lettering ", request.lfn, " after ",
+              request.attempts,
+              " attempts: ", result.status().to_string());
+    dead_letters_.push_back(DeadLetter{request.lfn, result.status(),
+                                       request.attempts,
+                                       simulator().now()});
+    ++stats_.dead_lettered;
+    server_.note_replication_dead_lettered();
+    settle(it, std::move(result));
+    return;
+  }
+
+  schedule_retry(request, result.status());
+  release_deferred();
+  pump();
+}
+
+void ReplicationScheduler::settle(
+    std::map<std::uint64_t, Request>::iterator it,
+    Result<gridftp::TransferResult> result) {
+  Done done = std::move(it->second.done);
+  requests_.erase(it);
+  release_deferred();
+  if (done) done(std::move(result));
+  pump();
+}
+
+void ReplicationScheduler::schedule_retry(Request& request,
+                                          const Status& cause) {
+  ++stats_.retries;
+  server_.note_replication_retried();
+  const SimDuration delay = backoff_after(request.attempts);
+  GDMP_DEBUG("sched", "retrying ", request.lfn, " in ", to_seconds(delay),
+             "s after: ", cause.to_string());
+  const std::uint64_t id = request.id;
+  std::weak_ptr<bool> alive = alive_;
+  simulator().schedule(delay, [this, alive, id] {
+    if (alive.expired()) return;
+    const auto it = requests_.find(id);
+    if (it == requests_.end()) return;  // cancelled while backing off
+    ready_.insert(ReadyKey{it->second.priority, it->second.seq, id});
+    pump();
+  });
+}
+
+void ReplicationScheduler::release_deferred() {
+  if (deferred_.empty()) return;
+  for (const std::uint64_t id : deferred_) {
+    const auto it = requests_.find(id);
+    if (it == requests_.end()) continue;
+    ready_.insert(ReadyKey{it->second.priority, it->second.seq, id});
+  }
+  deferred_.clear();
+}
+
+SimDuration ReplicationScheduler::backoff_after(int failures) {
+  const double exponent = failures > 1 ? failures - 1 : 0;
+  double delay = static_cast<double>(config_.initial_backoff) *
+                 std::pow(config_.backoff_multiplier, exponent);
+  delay = std::min(delay, static_cast<double>(config_.max_backoff));
+  const double jitter = std::clamp(config_.jitter, 0.0, 1.0);
+  delay *= rng_.uniform(1.0 - jitter, 1.0 + jitter);
+  return std::max<SimDuration>(kMillisecond,
+                               static_cast<SimDuration>(delay));
+}
+
+}  // namespace gdmp::sched

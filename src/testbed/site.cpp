@@ -60,7 +60,8 @@ Site::Site(sim::Simulator& simulator, net::Network& network, net::Node& host,
                      return node->id();
                    }),
       gdmp_client_(gdmp_server_),
-      objrep_(gdmp_server_, config_.objrep) {}
+      objrep_(gdmp_server_, config_.objrep),
+      scheduler_(gdmp_server_, config_.sched) {}
 
 Status Site::start() {
   if (const Status status = ftp_server_.start(); !status.is_ok()) {

@@ -12,6 +12,7 @@
 #include "net/network.h"
 #include "objrep/replicator.h"
 #include "objstore/persistency.h"
+#include "sched/replication_scheduler.h"
 
 namespace gdmp::testbed {
 
@@ -26,6 +27,7 @@ struct SiteConfig {
   core::GdmpConfig gdmp{};
   gridftp::FtpServerConfig ftp{};
   objrep::ObjectReplicationConfig objrep{};
+  sched::SchedulerConfig sched{};
 };
 
 class Site {
@@ -53,6 +55,7 @@ class Site {
   core::GdmpServer& gdmp_server() noexcept { return gdmp_server_; }
   core::GdmpClient& gdmp() noexcept { return gdmp_client_; }
   objrep::ObjectReplicationService& objrep() noexcept { return objrep_; }
+  sched::ReplicationScheduler& scheduler() noexcept { return scheduler_; }
   const SiteConfig& config() const noexcept { return config_; }
   const security::Certificate& credential() const noexcept {
     return services_.credential;
@@ -73,6 +76,9 @@ class Site {
   core::GdmpServer gdmp_server_;
   core::GdmpClient gdmp_client_;
   objrep::ObjectReplicationService objrep_;
+  // Last member: attaches to gdmp_server_ on construction and must detach
+  // (destruct) before it.
+  sched::ReplicationScheduler scheduler_;
 };
 
 }  // namespace gdmp::testbed

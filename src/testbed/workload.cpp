@@ -1,5 +1,6 @@
 #include "testbed/workload.h"
 
+#include "common/logging.h"
 #include "gdmp/file_type.h"
 
 namespace gdmp::testbed {
@@ -89,6 +90,38 @@ std::vector<core::PublishedFile> produce_all_tiers(Site& site,
     if (!assoc.empty()) file.extra["assoc"] = std::move(assoc);
   }
   return out;
+}
+
+std::vector<core::PublishedFile> bulk_produce(
+    Site& producer, const BulkProductionConfig& config) {
+  std::vector<core::PublishedFile> out;
+  for (int run = 0; run < config.runs; ++run) {
+    ProductionConfig production;
+    production.tier = config.tier;
+    production.event_lo = run * config.events_per_run;
+    production.event_hi = (run + 1) * config.events_per_run;
+    production.run_name = config.run_prefix + std::to_string(run);
+    production.archive_to_mss = config.archive_to_mss;
+    auto files = produce_run(producer, production);
+    if (files.empty()) break;  // pool full
+    producer.gdmp().publish(files, [](Status status) {
+      if (!status.is_ok()) {
+        GDMP_WARN("testbed", "bulk publish failed: ", status.to_string());
+      }
+    });
+    out.insert(out.end(), files.begin(), files.end());
+  }
+  return out;
+}
+
+void schedule_bulk_replication(Site& consumer,
+                               const std::vector<core::PublishedFile>& files,
+                               int priority,
+                               sched::ReplicationScheduler::BatchDone done) {
+  std::vector<LogicalFileName> lfns;
+  lfns.reserve(files.size());
+  for (const core::PublishedFile& file : files) lfns.push_back(file.lfn);
+  consumer.scheduler().submit_batch(lfns, priority, std::move(done));
 }
 
 }  // namespace gdmp::testbed

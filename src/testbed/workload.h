@@ -32,4 +32,28 @@ std::vector<core::PublishedFile> produce_all_tiers(
     Site& site, std::int64_t event_lo, std::int64_t event_hi,
     const std::string& run_name, bool archive_to_mss = false);
 
+/// A bulk production campaign: several consecutive runs of one tier,
+/// produced and published at a site in one go (the sustained-production
+/// traffic a replication scheduler is built for).
+struct BulkProductionConfig {
+  objstore::Tier tier = objstore::Tier::kAod;
+  std::int64_t events_per_run = 2000;
+  int runs = 4;
+  std::string run_prefix = "bulk";
+  bool archive_to_mss = false;
+};
+
+/// Produces and publishes `config.runs` runs at the producer. Publishing
+/// is asynchronous — run the simulator before consuming the catalog.
+/// Returns every produced file.
+std::vector<core::PublishedFile> bulk_produce(
+    Site& producer, const BulkProductionConfig& config);
+
+/// Enqueues every file of a produced batch on the consumer's replication
+/// scheduler as one prioritized batch submission.
+void schedule_bulk_replication(Site& consumer,
+                               const std::vector<core::PublishedFile>& files,
+                               int priority,
+                               sched::ReplicationScheduler::BatchDone done);
+
 }  // namespace gdmp::testbed

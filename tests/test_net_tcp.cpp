@@ -224,8 +224,9 @@ TEST(Tcp, RecoversFromHeavyCongestionLoss) {
   std::vector<TcpConnection::Ptr> clients;
   for (int i = 0; i < 2; ++i) {
     auto client = f.stack_a->connect(f.path.host_b->id(), 5000, config);
-    client->on_established = [client](const Status&) {
-      client->send_synthetic(10 * kMiB);
+    auto* client_raw = client.get();  // `clients` owns it; avoid a self-cycle
+    client->on_established = [client_raw](const Status&) {
+      client_raw->send_synthetic(10 * kMiB);
     };
     client->on_send_drained = [&done] { ++done; };
     clients.push_back(client);
@@ -247,7 +248,8 @@ TEST(Tcp, GracefulCloseCompletesBothSides) {
   (void)f.stack_b->listen(5000, TcpConfig{}, [&](TcpConnection::Ptr c) {
     server = c;
     c->on_closed = [&](const Status& s) { server_closed = s.is_ok(); };
-    c->on_synthetic_data = [c](Bytes) { c->close(); };
+    auto* raw = c.get();  // `server` owns it; avoid a self-cycle
+    c->on_synthetic_data = [raw](Bytes) { raw->close(); };
   });
   auto client = f.stack_a->connect(f.path.host_b->id(), 5000, TcpConfig{});
   client->on_established = [&](const Status&) {

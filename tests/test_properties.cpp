@@ -285,8 +285,11 @@ TEST_P(TcpFairnessProperty, WindowLimitedFlowsShareFairly) {
   std::vector<SimTime> finish(static_cast<std::size_t>(flows), 0);
   for (int i = 0; i < flows; ++i) {
     auto client = stack_a.connect(path.host_b->id(), 5000, config);
-    client->on_established = [client, per_flow](const Status&) {
-      client->send_synthetic(per_flow);
+    // Raw pointer: capturing the shared_ptr in the connection's own
+    // handler would be a reference cycle (`keep` owns the lifetime).
+    auto* client_raw = client.get();
+    client->on_established = [client_raw, per_flow](const Status&) {
+      client_raw->send_synthetic(per_flow);
     };
     client->on_send_drained = [&finish, i, &simulator] {
       if (finish[static_cast<std::size_t>(i)] == 0) {
