@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build + test the default and asan presets.
+# Full pre-merge check: build + test the default, asan and ubsan presets,
+# then smoke-test the trace export (observability example -> Chrome
+# trace_event JSON -> trace_check validates the replication span chain).
 #
-#   scripts/check.sh            # both presets
-#   scripts/check.sh default    # just one
+#   scripts/check.sh            # all presets + trace smoke test
+#   scripts/check.sh default    # just one preset (skips the smoke test)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+smoke=0
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default asan)
+  presets=(default asan ubsan)
+  smoke=1
 fi
 
 for preset in "${presets[@]}"; do
@@ -19,4 +23,15 @@ for preset in "${presets[@]}"; do
   echo "==> test [$preset]"
   ctest --preset "$preset"
 done
+
+if [ "$smoke" -eq 1 ]; then
+  echo "==> trace export smoke test"
+  trace_file="$(mktemp /tmp/gdmp-trace.XXXXXX.json)"
+  trap 'rm -f "$trace_file"' EXIT
+  GDMP_TRACE_FILE="$trace_file" ./build/examples/observability >/dev/null
+  ./build/tools/trace_check "$trace_file" --require \
+    rpc.request sched.request sched.queue_wait gdmp.replicate \
+    gridftp.transfer gridftp.stream gridftp.crc_check gdmp.catalog_update
+fi
+
 echo "==> all checks passed: ${presets[*]}"

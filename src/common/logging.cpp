@@ -42,6 +42,23 @@ void Logger::set_sink(Sink sink) {
   };
 }
 
+bool Logger::enabled(LogLevel level, std::string_view component)
+    const noexcept {
+  if (!component_levels_.empty()) {
+    // Longest matching dotted prefix wins: an override for "gridftp" also
+    // covers "gridftp.client" (but not "gridftpx").
+    std::string_view probe = component;
+    while (!probe.empty()) {
+      const auto it = component_levels_.find(probe);
+      if (it != component_levels_.end()) return level >= it->second;
+      const auto dot = probe.rfind('.');
+      if (dot == std::string_view::npos) break;
+      probe = probe.substr(0, dot);
+    }
+  }
+  return level >= level_;
+}
+
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view msg) {
   std::string line;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -27,13 +28,24 @@ class Logger {
   void set_level(LogLevel level) noexcept { level_ = level; }
   LogLevel level() const noexcept { return level_; }
 
+  /// Per-component override: `set_component_level("gridftp", kDebug)`
+  /// traces one subsystem without drowning the run. The override applies
+  /// to the component and its dotted children ("gridftp.client").
+  void set_component_level(std::string component, LogLevel level) {
+    component_levels_[std::move(component)] = level;
+  }
+  void clear_component_levels() { component_levels_.clear(); }
+
   /// Replaces the sink (default: stderr). Pass nullptr to restore default.
   void set_sink(Sink sink);
 
   /// Clock used to prefix messages with simulated time; optional.
   void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
 
+  /// Effective-level check against the global threshold only.
   bool enabled(LogLevel level) const noexcept { return level >= level_; }
+  /// Check honouring per-component overrides (what GDMP_LOG uses).
+  bool enabled(LogLevel level, std::string_view component) const noexcept;
 
   void log(LogLevel level, std::string_view component, std::string_view msg);
 
@@ -41,6 +53,7 @@ class Logger {
   Logger();
 
   LogLevel level_ = LogLevel::kOff;
+  std::map<std::string, LogLevel, std::less<>> component_levels_;
   Sink sink_;
   std::function<SimTime()> clock_;
 };
@@ -56,7 +69,7 @@ std::string concat(Args&&... args) {
 
 #define GDMP_LOG(level, component, ...)                                      \
   do {                                                                       \
-    if (::gdmp::Logger::global().enabled(level)) {                           \
+    if (::gdmp::Logger::global().enabled(level, component)) {                \
       ::gdmp::Logger::global().log(level, component,                         \
                                    ::gdmp::log_detail::concat(__VA_ARGS__)); \
     }                                                                        \

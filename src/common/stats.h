@@ -40,9 +40,14 @@ class RunningStats {
 };
 
 /// Stores samples for exact percentiles (bench-scale data volumes only).
+/// Sorts lazily on the first quantile() after a batch of add()s; adding
+/// invalidates the sort, so add/quantile calls can interleave freely.
 class Percentiles {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
 
   std::size_t count() const noexcept { return samples_.size(); }
 
@@ -50,7 +55,7 @@ class Percentiles {
   double quantile(double q) const;
 
  private:
-  mutable std::vector<double> samples_;
+  mutable std::vector<double> samples_;  // lazily sorted by quantile()
   mutable bool sorted_ = false;
 };
 

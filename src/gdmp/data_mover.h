@@ -48,6 +48,10 @@ class DataMover {
                          gridftp::TransferOptions options, Done done);
 
   const DataMoverStats& stats() const noexcept { return stats_; }
+  /// Site-wide transfer defaults (base for pull_with_options overrides).
+  const gridftp::TransferOptions& defaults() const noexcept {
+    return defaults_;
+  }
   int in_flight() const noexcept { return active_; }
   std::size_t queued() const noexcept { return queue_.size(); }
   gridftp::FtpClient& ftp() noexcept { return ftp_; }

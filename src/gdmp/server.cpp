@@ -142,6 +142,7 @@ void GdmpServer::publish(std::vector<PublishedFile> files, PublishDone done) {
           if (status.is_ok()) {
             export_catalog_[file.lfn] = file;
             ++stats_.files_published;
+            if (metrics_.files_published) metrics_.files_published->add();
             if (config_.auto_archive_published) {
               storage_manager_.archive(file.local_path, [](Status) {});
             }
@@ -164,6 +165,7 @@ void GdmpServer::notify_subscribers(const std::vector<PublishedFile>& files) {
   const std::vector<std::uint8_t> payload = w.take();
   for (const SubscriberInfo& subscriber : subscribers_) {
     ++stats_.notifications_sent;
+    if (metrics_.notifications_sent) metrics_.notifications_sent->add();
     peer(subscriber.node, subscriber.port)
         .call(kMethodNotify, payload,
               [](Status status, std::vector<std::uint8_t>) {
@@ -207,20 +209,40 @@ std::size_t sanitize_selected_index(std::size_t index, std::size_t count) {
 
 void GdmpServer::replicate(const LogicalFileName& lfn,
                            ReplicateOptions options, ReplicateDone done) {
+  // Spans the whole §4.1 consumer sequence: catalog lookup, staging, the
+  // GridFTP pull (whose transfer span nests under this one) and the final
+  // catalog update. Ends exactly once, in the wrapped `done`.
+  auto& tracer = obs::Tracer::global();
+  obs::SpanId span;
+  if (tracer.enabled()) {
+    span = tracer.begin("gdmp.replicate", options.parent_span);
+    tracer.attr(span, "lfn", lfn);
+  }
+  ReplicateDone finish = [span, done = std::move(done)](
+                             Result<gridftp::TransferResult> result) {
+    if (span.valid()) {
+      auto& t = obs::Tracer::global();
+      t.attr(span, "status",
+             result.is_ok() ? "ok" : result.status().to_string());
+      t.end(span);
+    }
+    done(std::move(result));
+  };
+
   const std::string local_path = local_path_for(lfn);
   if (site_.pool.contains(local_path)) {
-    done(make_error(ErrorCode::kAlreadyExists,
-                    "replica already on site: " + lfn));
+    finish(make_error(ErrorCode::kAlreadyExists,
+                      "replica already on site: " + lfn));
     return;
   }
   std::weak_ptr<bool> alive = alive_;
   catalog_client_.lookup(
       config_.collection, lfn,
-      [this, alive, lfn, local_path, options = std::move(options),
-       done](Result<ReplicaInfo> info) {
+      [this, alive, lfn, local_path, span, options = std::move(options),
+       done = std::move(finish)](Result<ReplicaInfo> info) {
         if (alive.expired()) return;
         if (!info.is_ok()) {
-          ++stats_.replication_failures;
+          count_replication_failure();
           done(info.status());
           return;
         }
@@ -233,7 +255,7 @@ void GdmpServer::replicate(const LogicalFileName& lfn,
           }
         }
         if (candidates.empty()) {
-          ++stats_.replication_failures;
+          count_replication_failure();
           done(make_error(ErrorCode::kUnavailable,
                           "no remote replica of " + lfn));
           return;
@@ -255,7 +277,7 @@ void GdmpServer::replicate(const LogicalFileName& lfn,
         const Uri source = candidates[index];
         auto source_node = resolver_(source.host);
         if (!source_node.is_ok()) {
-          ++stats_.replication_failures;
+          count_replication_failure();
           done(source_node.status());
           return;
         }
@@ -279,11 +301,11 @@ void GdmpServer::replicate(const LogicalFileName& lfn,
         const net::NodeId src_node = *source_node;
 
         plugin.pre_process(site_, file, [this, alive, lfn, file, source,
-                                         src_node, expected_crc,
+                                         src_node, expected_crc, span,
                                          done](Status pre) {
           if (alive.expired()) return;
           if (!pre.is_ok()) {
-            ++stats_.replication_failures;
+            count_replication_failure();
             done(pre);
             return;
           }
@@ -295,21 +317,27 @@ void GdmpServer::replicate(const LogicalFileName& lfn,
           peer(src_node, config_.server_port)
               .call(kMethodStage, w.take(),
                     [this, alive, lfn, file, source, src_node, expected_crc,
-                     done](Status staged, std::vector<std::uint8_t>) {
+                     span, done](Status staged, std::vector<std::uint8_t>) {
                       if (alive.expired()) return;
                       if (!staged.is_ok()) {
-                        ++stats_.replication_failures;
+                        count_replication_failure();
                         done(staged);
                         return;
                       }
-                      data_mover_.pull(
+                      gridftp::TransferOptions options =
+                          data_mover_.defaults();
+                      options.expected_crc = expected_crc;
+                      options.channel = &transfer_channel_;
+                      options.peer = source.host;
+                      options.parent_span = span;
+                      data_mover_.pull_with_options(
                           src_node, config_.gridftp_port, source.path,
-                          file.local_path, expected_crc,
+                          file.local_path, std::move(options),
                           [this, alive, lfn, file, source, src_node,
-                           done](Result<gridftp::TransferResult> result) {
+                           span, done](Result<gridftp::TransferResult> r) {
                             if (alive.expired()) return;
                             finish_replication(lfn, file, source, src_node,
-                                               std::move(result), done);
+                                               span, std::move(r), done);
                           });
                     });
         });
@@ -320,6 +348,7 @@ void GdmpServer::finish_replication(const LogicalFileName& lfn,
                                     const PublishedFile& file,
                                     const Uri& source,
                                     net::NodeId source_node,
+                                    obs::SpanId span,
                                     Result<gridftp::TransferResult> transfer,
                                     ReplicateDone done) {
   // Always release the pin we asked the source to take.
@@ -330,46 +359,75 @@ void GdmpServer::finish_replication(const LogicalFileName& lfn,
             [](Status, std::vector<std::uint8_t>) {});
 
   if (!transfer.is_ok()) {
-    ++stats_.replication_failures;
+    count_replication_failure();
     done(std::move(transfer));
     return;
   }
-  if (on_transfer_observed) on_transfer_observed(source.host, *transfer);
   std::weak_ptr<bool> alive = alive_;
   FileTypePlugin& plugin = plugins_.plugin_for(file.file_type);
   plugin.post_process(
       site_, file, file.local_path,
-      [this, alive, lfn, file, transfer = std::move(transfer),
+      [this, alive, lfn, file, span, transfer = std::move(transfer),
        done](Status post) mutable {
         if (alive.expired()) return;
         if (!post.is_ok()) {
-          ++stats_.replication_failures;
+          count_replication_failure();
           (void)site_.pool.remove(file.local_path);
           done(post);
           return;
         }
+        auto& tracer = obs::Tracer::global();
+        obs::SpanId catalog_span;
+        if (tracer.enabled()) {
+          catalog_span = tracer.begin(
+              "gdmp.catalog_update",
+              span.valid() ? span : obs::Tracer::root_parent());
+          tracer.attr(catalog_span, "lfn", lfn);
+        }
         catalog_client_.add_replica(
             config_.collection, lfn, site_.site_name, url_prefix(),
-            [this, alive, lfn, file, transfer = std::move(transfer),
+            [this, alive, lfn, file, catalog_span,
+             transfer = std::move(transfer),
              done](Status registered) mutable {
               if (alive.expired()) return;
+              if (catalog_span.valid()) {
+                auto& t = obs::Tracer::global();
+                t.attr(catalog_span, "status",
+                       registered.is_ok() ? "ok" : registered.to_string());
+                t.end(catalog_span);
+              }
               // A stale replica record (e.g. re-replication after a local
               // disk incident the catalog never heard about) is fine: the
               // catalog already says what we want it to say.
               if (!registered.is_ok() &&
                   registered.code() != ErrorCode::kAlreadyExists) {
-                ++stats_.replication_failures;
+                count_replication_failure();
                 done(registered);
                 return;
               }
               export_catalog_[lfn] = file;
               ++stats_.files_replicated;
+              if (metrics_.files_replicated) metrics_.files_replicated->add();
               if (config_.auto_archive_published) {
                 storage_manager_.archive(file.local_path, [](Status) {});
               }
               done(std::move(transfer));
             });
       });
+}
+
+void GdmpServer::set_metrics(const obs::MetricsScope& scope) {
+  metrics_.files_published = scope.counter("files_published");
+  metrics_.notifications_sent = scope.counter("notifications_sent");
+  metrics_.notifications_received = scope.counter("notifications_received");
+  metrics_.notifications_queued = scope.counter("notifications_queued");
+  metrics_.files_replicated = scope.counter("files_replicated");
+  metrics_.replication_failures = scope.counter("replication_failures");
+  metrics_.stage_requests_served = scope.counter("stage_requests_served");
+  metrics_.replications_retried = scope.counter("replications_retried");
+  metrics_.replications_dead_lettered =
+      scope.counter("replications_dead_lettered");
+  rpc_.set_metrics(scope.scope("rpc"));
 }
 
 void GdmpServer::fetch_remote_catalog(
@@ -457,12 +515,18 @@ void GdmpServer::handle_notify(const security::GsiContext& peer_ctx,
   respond(Status::ok(), {});  // ack immediately; replication is async
   for (const PublishedFile& file : files) {
     ++stats_.notifications_received;
+    if (metrics_.notifications_received) {
+      metrics_.notifications_received->add();
+    }
     if (on_notification) on_notification(from_site, file);
     if (config_.auto_replicate_on_notify) {
       if (enqueue_replication_) {
         // A scheduler owns the consumer path: queue instead of firing a
         // concurrency-unbounded replicate() per notification.
         ++stats_.notifications_queued;
+        if (metrics_.notifications_queued) {
+          metrics_.notifications_queued->add();
+        }
         enqueue_replication_(file);
         continue;
       }
@@ -508,6 +572,7 @@ void GdmpServer::handle_stage(const security::GsiContext& peer_ctx,
     return;
   }
   ++stats_.stage_requests_served;
+  if (metrics_.stage_requests_served) metrics_.stage_requests_served->add();
   storage_manager_.ensure_on_disk(
       path, [respond = std::move(respond)](Result<storage::FileInfo> result) {
         respond(result.is_ok() ? Status::ok() : result.status(), {});

@@ -22,6 +22,9 @@
 #include "gdmp/file_type.h"
 #include "gdmp/storage_manager.h"
 #include "gdmp/types.h"
+#include "obs/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/rpc_server.h"
 #include "security/acl.h"
 
@@ -80,6 +83,8 @@ class GdmpServer {
     /// Invoked once a source replica has been chosen and resolved, before
     /// any staging or transfer work starts.
     std::function<void(const std::string& source_host)> on_source;
+    /// Parent for the "gdmp.replicate" span; invalid = ambient current.
+    obs::SpanId parent_span{};
   };
 
   GdmpServer(SiteServices& site, GdmpConfig config, HostResolver resolver);
@@ -118,12 +123,14 @@ class GdmpServer {
   std::function<void(const std::string& from_site, const PublishedFile&)>
       on_notification;
 
-  /// Observer fed with every successful inbound transfer's source host and
-  /// measured result — the bandwidth-history input of cost-aware replica
-  /// selection [VTF01].
-  std::function<void(const std::string& source_host,
-                     const gridftp::TransferResult&)>
-      on_transfer_observed;
+  /// Observer channel for every inbound replication transfer: per-stripe
+  /// perf markers, restart markers and terminal summaries, all stamped
+  /// with the source host as `peer`. The scheduler subscribes here to feed
+  /// the bandwidth history of cost-aware replica selection [VTF01];
+  /// dashboards and tests can subscribe alongside it.
+  obs::TransferChannel& transfer_channel() noexcept {
+    return transfer_channel_;
+  }
 
   /// When installed, auto-replication triggered by a notification enqueues
   /// the file here (a replication scheduler) instead of firing replicate()
@@ -158,11 +165,22 @@ class GdmpServer {
     selector_ = std::move(selector);
   }
 
+  /// Attaches producer/consumer counters (scope e.g. "site.cern.gdmp");
+  /// the "rpc" child scope instruments the request-manager RPC server.
+  /// The stats() struct stays authoritative; the registry mirrors it.
+  void set_metrics(const obs::MetricsScope& scope);
+
   // Scheduler feedback, recorded here so the server's stats block covers
   // the whole replication pipeline.
-  void note_replication_retried() noexcept { ++stats_.replications_retried; }
+  void note_replication_retried() noexcept {
+    ++stats_.replications_retried;
+    if (metrics_.replications_retried) metrics_.replications_retried->add();
+  }
   void note_replication_dead_lettered() noexcept {
     ++stats_.replications_dead_lettered;
+    if (metrics_.replications_dead_lettered) {
+      metrics_.replications_dead_lettered->add();
+    }
   }
 
   /// Site-local pool path of a logical file.
@@ -203,8 +221,13 @@ class GdmpServer {
                           const PublishedFile& file,
                           const Uri& source,
                           net::NodeId source_node,
+                          obs::SpanId span,
                           Result<gridftp::TransferResult> transfer,
                           ReplicateDone done);
+  void count_replication_failure() noexcept {
+    ++stats_.replication_failures;
+    if (metrics_.replication_failures) metrics_.replication_failures->add();
+  }
 
   SiteServices& site_;
   GdmpConfig config_;
@@ -224,6 +247,19 @@ class GdmpServer {
   std::map<LogicalFileName, PublishedFile> export_catalog_;
   std::map<std::uint64_t, std::unique_ptr<rpc::RpcClient>> peers_;
   GdmpServerStats stats_;
+  struct ServerMetrics {
+    obs::Counter* files_published = nullptr;
+    obs::Counter* notifications_sent = nullptr;
+    obs::Counter* notifications_received = nullptr;
+    obs::Counter* notifications_queued = nullptr;
+    obs::Counter* files_replicated = nullptr;
+    obs::Counter* replication_failures = nullptr;
+    obs::Counter* stage_requests_served = nullptr;
+    obs::Counter* replications_retried = nullptr;
+    obs::Counter* replications_dead_lettered = nullptr;
+  };
+  ServerMetrics metrics_;
+  obs::TransferChannel transfer_channel_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -61,7 +61,18 @@ struct FtpClient::Transfer : std::enable_shared_from_this<Transfer> {
   std::unique_ptr<sim::PeriodicTimer> monitor;
   bool finished = false;
 
+  // Observability: transfer span, per-stream child spans, and per-stripe
+  // cumulative byte counters feeding the perf markers.
+  obs::SpanId span;
+  std::vector<obs::SpanId> stream_spans;
+  std::vector<Bytes> stream_bytes;
+
   void close_streams() {
+    auto& tracer = obs::Tracer::global();
+    for (const obs::SpanId stream_span : stream_spans) {
+      tracer.end(stream_span);
+    }
+    stream_spans.clear();
     for (auto& stream : streams) {
       if (!stream) continue;
       stream->on_data = nullptr;
@@ -110,6 +121,12 @@ std::shared_ptr<FtpClient::Transfer> FtpClient::make_transfer(
   transfer->done = std::move(done);
   transfer->started_at = stack_.simulator().now();
   transfer->rpc = make_rpc(server, port, options.rpc_timeout);
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    transfer->span = tracer.begin("gridftp.transfer", options.parent_span);
+    tracer.attr(transfer->span, "streams",
+                static_cast<std::int64_t>(options.parallel_streams));
+  }
   return transfer;
 }
 
@@ -122,6 +139,7 @@ void FtpClient::get(net::NodeId server, net::Port control_port,
   transfer->remote_path = remote_path;
   transfer->local_path = local_path;
   transfer->pool = pool;
+  obs::Tracer::global().attr(transfer->span, "path", remote_path);
 
   std::weak_ptr<bool> alive = alive_;
   // Resolve the file size first (needed for open-ended ranges and bounds).
@@ -219,18 +237,28 @@ void FtpClient::open_streams(const std::shared_ptr<Transfer>& transfer,
 
   transfer->streams.resize(static_cast<std::size_t>(n));
   transfer->parsers.resize(static_cast<std::size_t>(n));
+  transfer->stream_bytes.assign(static_cast<std::size_t>(n), 0);
+  transfer->stream_spans.assign(static_cast<std::size_t>(n), obs::SpanId{});
+  auto& tracer = obs::Tracer::global();
   for (int i = 0; i < n; ++i) {
     auto conn = stack_.connect(transfer->server, transfer->data_port, tcp);
     transfer->streams[static_cast<std::size_t>(i)] = conn;
+    if (tracer.enabled()) {
+      const obs::SpanId stream_span =
+          tracer.begin("gridftp.stream", transfer->span);
+      tracer.attr(stream_span, "stripe", static_cast<std::int64_t>(i));
+      transfer->stream_spans[static_cast<std::size_t>(i)] = stream_span;
+    }
     auto parser = std::make_unique<BlockStreamParser>();
     auto* parser_raw = parser.get();
 
-    parser_raw->on_payload = [transfer, parser_raw](const BlockHeader& header,
-                                                    Bytes fresh) {
+    parser_raw->on_payload = [transfer, parser_raw, i](
+                                 const BlockHeader& header, Bytes fresh) {
       const Bytes pos = header.offset + header.length -
                         (parser_raw->payload_remaining() + fresh);
       transfer->received.add(pos, fresh);
       transfer->payload_bytes += fresh;
+      transfer->stream_bytes[static_cast<std::size_t>(i)] += fresh;
     };
     parser_raw->on_block_end = [transfer](const BlockHeader& header) {
       transfer->blocks[header.offset] = {header.length, header.content_seed};
@@ -283,6 +311,21 @@ void FtpClient::open_streams(const std::shared_ptr<Transfer>& transfer,
               transfer->options.monitor_interval);
           transfer->last_sampled_bytes = now_bytes;
           transfer->rate_series.add(stack_.simulator().now(), mbps);
+          // Wire-level perf markers: one per stripe, cumulative bytes.
+          const obs::TransferChannel* channel = transfer->options.channel;
+          if (channel != nullptr && channel->has_subscribers()) {
+            obs::PerfMarker marker;
+            marker.time = stack_.simulator().now();
+            marker.peer = transfer->options.peer;
+            marker.path = transfer->remote_path;
+            marker.stripe_count =
+                static_cast<std::uint32_t>(transfer->stream_bytes.size());
+            for (std::size_t s = 0; s < transfer->stream_bytes.size(); ++s) {
+              marker.stripe = static_cast<std::uint32_t>(s);
+              marker.bytes = transfer->stream_bytes[s];
+              channel->perf(marker);
+            }
+          }
         });
     transfer->monitor->start();
   }
@@ -311,11 +354,19 @@ void FtpClient::finish_get_attempt(const std::shared_ptr<Transfer>& transfer,
     transfer->source_crc = server_crc;
   }
 
+  auto& tracer = obs::Tracer::global();
+  obs::SpanId crc_span;
+  if (tracer.enabled()) {
+    crc_span = tracer.begin("gridftp.crc_check", transfer->span);
+  }
+
   // End-to-end verification. `source_crc` (first-attempt server CRC over
   // the full range) tells apart wire corruption (retry helps) from a source
   // replica that disagrees with the catalog (retry cannot help).
   if (transfer->options.expected_crc &&
       transfer->source_crc != *transfer->options.expected_crc) {
+    tracer.attr(crc_span, "result", "catalog_mismatch");
+    tracer.end(crc_span);
     complete(transfer,
              make_error(ErrorCode::kCorrupted,
                         "replica does not match catalog checksum"));
@@ -360,6 +411,8 @@ void FtpClient::finish_get_attempt(const std::shared_ptr<Transfer>& transfer,
       bad.insert(bad.end(), holes.begin(), holes.end());
     }
   }
+  tracer.attr(crc_span, "result", bad.empty() ? "ok" : "bad_ranges");
+  tracer.end(crc_span);
   if (!bad.empty()) {
     retry_or_fail(transfer, std::move(bad),
                   make_error(ErrorCode::kCorrupted,
@@ -411,6 +464,7 @@ void FtpClient::put(net::NodeId server, net::Port control_port,
   transfer->remote_path = remote_path;
   transfer->local_path = local_path;
   transfer->pool = &pool;
+  obs::Tracer::global().attr(transfer->span, "path", remote_path);
 
   auto file = pool.lookup(local_path);
   if (!file.is_ok()) {
@@ -484,6 +538,7 @@ void FtpClient::start_put_attempt(const std::shared_ptr<Transfer>& transfer) {
                     conn->send(w.take());
                     conn->send_synthetic(parts[i].length);
                     transfer->payload_bytes += parts[i].length;
+                    transfer->stream_bytes[i] += parts[i].length;
                     transfer->pool->disk().read(parts[i].length, [] {});
                   }
                   BlockHeader eod;
@@ -536,6 +591,18 @@ void FtpClient::retry_or_fail(const std::shared_ptr<Transfer>& transfer,
   GDMP_INFO("gridftp.client",
             "restarting transfer of ", transfer->remote_path, " (",
             ranges.size(), " ranges): ", cause.to_string());
+  if (transfer->options.channel != nullptr &&
+      transfer->options.channel->has_subscribers()) {
+    obs::RestartMarker marker;
+    marker.time = stack_.simulator().now();
+    marker.peer = transfer->options.peer;
+    marker.path = transfer->remote_path;
+    marker.next_attempt = static_cast<std::uint32_t>(transfer->attempts + 1);
+    marker.ranges_remaining = ranges.size();
+    transfer->options.channel->restart(marker);
+  }
+  obs::Tracer::global().attr(transfer->span, "restarts",
+                             static_cast<std::int64_t>(transfer->attempts));
   if (transfer->is_put) {
     start_put_attempt(transfer);
     return;
@@ -570,6 +637,37 @@ void FtpClient::complete(const std::shared_ptr<Transfer>& transfer,
   }
   transfer->close_streams();
   if (transfer->rpc) transfer->rpc->close();
+
+  if (transfer->span.valid()) {
+    auto& tracer = obs::Tracer::global();
+    tracer.attr(transfer->span, "status",
+                result.is_ok() ? "ok" : result.status().to_string());
+    tracer.attr(transfer->span, "attempts",
+                static_cast<std::int64_t>(transfer->attempts));
+    tracer.end(transfer->span);
+  }
+  if (transfer->options.channel != nullptr &&
+      transfer->options.channel->has_subscribers()) {
+    obs::TransferSummary summary;
+    summary.time = stack_.simulator().now();
+    summary.peer = transfer->options.peer;
+    summary.path = transfer->remote_path;
+    summary.ok = result.is_ok();
+    summary.streams =
+        static_cast<std::uint32_t>(transfer->options.parallel_streams);
+    summary.attempts = static_cast<std::uint32_t>(
+        transfer->attempts > 0 ? transfer->attempts : 1);
+    if (result.is_ok()) {
+      summary.bytes = result->bytes;
+      summary.elapsed = result->elapsed;
+      summary.mbps = result->mbps;
+    } else {
+      summary.bytes = transfer->payload_bytes;
+      summary.elapsed = stack_.simulator().now() - transfer->started_at;
+      summary.mbps = throughput_mbps(summary.bytes, summary.elapsed);
+    }
+    transfer->options.channel->complete(summary);
+  }
   if (transfer->done) transfer->done(std::move(result));
 }
 

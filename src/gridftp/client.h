@@ -19,6 +19,8 @@
 #include "common/stats.h"
 #include "gridftp/block_stream.h"
 #include "gridftp/protocol.h"
+#include "obs/channel.h"
+#include "obs/trace.h"
 #include "rpc/rpc_client.h"
 #include "storage/disk_pool.h"
 
@@ -40,6 +42,14 @@ struct TransferOptions {
   SimDuration monitor_interval = 500 * kMillisecond;
   /// Control-channel call timeout; transfers legitimately take minutes.
   SimDuration rpc_timeout = 7200 * kSecond;
+  /// Observer channel for perf/restart markers and the terminal summary
+  /// (the paper's wire-level performance markers, §3.2). Not owned; null
+  /// disables marker emission.
+  obs::TransferChannel* channel = nullptr;
+  /// Peer label stamped on emitted markers (e.g. the source host name).
+  std::string peer;
+  /// Parent for the "gridftp.transfer" span; invalid = ambient current.
+  obs::SpanId parent_span{};
 };
 
 struct TransferResult {

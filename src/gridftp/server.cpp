@@ -281,6 +281,7 @@ void FtpServer::attach_stream(const std::shared_ptr<DataSession>& session,
                       (stream->parser.payload_remaining() + fresh);
     session->received.add(pos, fresh);
     stats_.bytes_received += fresh;
+    if (metrics_.bytes_received) metrics_.bytes_received->add(fresh);
   };
   stream->parser.on_block_begin = [session](const BlockHeader& header) {
     if (!session->recv_seed_set) {
@@ -391,6 +392,7 @@ void FtpServer::handle_retr(std::span<const std::uint8_t> params,
     if (stream) stream->drained_counted = false;
   }
   ++stats_.retrievals;
+  if (metrics_.retrievals) metrics_.retrievals->add();
   maybe_start_retr(session);
 }
 
@@ -428,6 +430,7 @@ void FtpServer::maybe_start_retr(const std::shared_ptr<DataSession>& session) {
           fault_rng_.chance(config_.corrupt_probability)) {
         header.content_seed ^= 0xbadc0ffee0ddf00dULL;
         ++stats_.blocks_corrupted;
+        if (metrics_.blocks_corrupted) metrics_.blocks_corrupted->add();
       }
       rpc::Writer w;
       header.encode(w);
@@ -435,6 +438,19 @@ void FtpServer::maybe_start_retr(const std::shared_ptr<DataSession>& session) {
       stream->conn->send_synthetic(range.length);
       stream_bytes += range.length;
       stats_.bytes_sent += range.length;
+      if (metrics_.bytes_sent) metrics_.bytes_sent->add(range.length);
+    }
+    // Server-side perf marker: bytes queued for this stripe (the wire
+    // marker a monitoring client would receive over the control channel).
+    if (channel_ != nullptr && channel_->has_subscribers()) {
+      obs::PerfMarker marker;
+      marker.time = stack_.simulator().now();
+      marker.path = session->retr.path;
+      marker.bytes = stream_bytes;
+      marker.stripe = static_cast<std::uint32_t>(i);
+      marker.stripe_count =
+          static_cast<std::uint32_t>(session->streams.size());
+      channel_->perf(marker);
     }
     // End-of-data marker.
     BlockHeader eod;
@@ -504,6 +520,7 @@ void FtpServer::handle_stor(std::span<const std::uint8_t> params,
   session->stor.reserved = total;
   session->stor.respond = std::move(respond);
   ++stats_.stores;
+  if (metrics_.stores) metrics_.stores->add();
   check_stor_complete(session);
 }
 
@@ -589,6 +606,7 @@ void FtpServer::handle_xfer(std::span<const std::uint8_t> params,
     return;
   }
   ++stats_.third_party;
+  if (metrics_.third_party) metrics_.third_party->add();
   // Third-party control: this server acts as the sending party of a
   // server-to-server transfer that the remote client orchestrates.
   auto client = std::make_shared<FtpClient>(stack_, ca_, credential_);
@@ -669,6 +687,16 @@ void FtpServer::destroy_session(const std::shared_ptr<DataSession>& session) {
     }
     session->streams.clear();
   });
+}
+
+void FtpServer::set_metrics(const obs::MetricsScope& scope) {
+  metrics_.retrievals = scope.counter("retrievals");
+  metrics_.stores = scope.counter("stores");
+  metrics_.third_party = scope.counter("third_party");
+  metrics_.blocks_corrupted = scope.counter("blocks_corrupted");
+  metrics_.bytes_sent = scope.counter("bytes_sent");
+  metrics_.bytes_received = scope.counter("bytes_received");
+  rpc_.set_metrics(scope.scope("rpc"));
 }
 
 }  // namespace gdmp::gridftp

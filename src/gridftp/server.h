@@ -18,6 +18,8 @@
 #include "common/result.h"
 #include "gridftp/block_stream.h"
 #include "gridftp/protocol.h"
+#include "obs/channel.h"
+#include "obs/metrics.h"
 #include "rpc/rpc_server.h"
 #include "storage/disk_pool.h"
 
@@ -69,6 +71,16 @@ class FtpServer {
     return credential_;
   }
 
+  /// Attaches transfer/byte counters (scope e.g. "site.cern.gridftp"); the
+  /// "rpc" child scope instruments the embedded control-channel server.
+  void set_metrics(const obs::MetricsScope& scope);
+
+  /// Server-side marker channel: RETR sessions publish per-stripe perf
+  /// markers as blocks are queued. Not owned; null disables emission.
+  void set_channel(obs::TransferChannel* channel) noexcept {
+    channel_ = channel;
+  }
+
  private:
   struct DataStream;
   struct DataSession;
@@ -114,6 +126,16 @@ class FtpServer {
   rpc::RpcServer rpc_;
   Rng fault_rng_;
   FtpServerStats stats_;
+  struct ServerMetrics {
+    obs::Counter* retrievals = nullptr;
+    obs::Counter* stores = nullptr;
+    obs::Counter* third_party = nullptr;
+    obs::Counter* blocks_corrupted = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+  };
+  ServerMetrics metrics_;
+  obs::TransferChannel* channel_ = nullptr;
   std::unordered_map<std::uint64_t, ControlState> control_state_;
   std::unordered_map<std::uint64_t, std::shared_ptr<DataSession>> sessions_;
   std::uint64_t next_token_ = 1;

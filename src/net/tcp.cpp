@@ -92,6 +92,9 @@ void TcpConnection::abort() {
 void TcpConnection::handle_packet(const Packet& packet) {
   if (state_ == State::kClosed) return;
   ++stats_.segments_received;
+  if (stack_.metrics_.segments_received) {
+    stack_.metrics_.segments_received->add();
+  }
 
   if (packet.has_flag(kFlagRst)) {
     fail(make_error(ErrorCode::kAborted, "connection reset by peer"));
@@ -278,6 +281,7 @@ void TcpConnection::enter_fast_recovery() {
   retx_inflight_ = 0;
   in_fast_recovery_ = true;
   ++stats_.fast_retransmits;
+  if (stack_.metrics_.fast_retransmits) stack_.metrics_.fast_retransmits->add();
   GDMP_TRACE("tcp", "port ", local_port_, " enter recovery: una=", snd_una_,
              " nxt=", snd_nxt_, " cwnd=", static_cast<Bytes>(cwnd_),
              " sacked=", sacked_bytes_);
@@ -372,6 +376,9 @@ void TcpConnection::process_payload(const Packet& packet) {
   const Bytes fresh = packet.payload_len - skip;
   if (fresh > 0) {
     stats_.bytes_delivered += fresh;
+    if (stack_.metrics_.bytes_delivered) {
+      stack_.metrics_.bytes_delivered->add(fresh);
+    }
     if (packet.data) {
       if (on_data) {
         on_data(std::span<const std::uint8_t>(packet.data->data() + skip,
@@ -406,6 +413,9 @@ void TcpConnection::deliver_in_order() {
       const Bytes fresh = seg.length - skip;
       if (fresh > 0) {
         stats_.bytes_delivered += fresh;
+        if (stack_.metrics_.bytes_delivered) {
+          stack_.metrics_.bytes_delivered->add(fresh);
+        }
         if (seg.data) {
           if (on_data) {
             on_data(std::span<const std::uint8_t>(
@@ -487,6 +497,10 @@ void TcpConnection::send_segment(std::int64_t seq, Bytes length,
 
   ++stats_.segments_sent;
   if (is_retransmit) ++stats_.retransmits;
+  if (stack_.metrics_.segments_sent) {
+    stack_.metrics_.segments_sent->add();
+    if (is_retransmit) stack_.metrics_.retransmits->add();
+  }
 
   if (!is_retransmit && !rtt_timing_active_) {
     rtt_timing_active_ = true;
@@ -513,6 +527,7 @@ void TcpConnection::send_control(std::uint8_t flags, std::int64_t seq) {
     if ((flags & kFlagSyn) == 0) packet.flags |= kFlagAck;
   }
   ++stats_.segments_sent;
+  if (stack_.metrics_.segments_sent) stack_.metrics_.segments_sent->add();
   stack_.node().send(packet);
 }
 
@@ -588,6 +603,7 @@ void TcpConnection::retransmit_head() {
   } else if (fin_sent_ && !fin_acked_) {
     send_control(kFlagFin | kFlagAck, stream_length_ + 1);
     ++stats_.retransmits;
+    if (stack_.metrics_.retransmits) stack_.metrics_.retransmits->add();
     arm_rto();
   }
 }
@@ -609,6 +625,7 @@ void TcpConnection::on_rto() {
   if (state_ == State::kClosed) return;
   ++rto_retries_;
   ++stats_.timeouts;
+  if (stack_.metrics_.timeouts) stack_.metrics_.timeouts->add();
   if (rto_retries_ > config_.max_retries) {
     fail(make_error(ErrorCode::kTimedOut,
                     "retransmission retries exhausted to node " +
@@ -702,8 +719,19 @@ TcpConnection::Ptr TcpStack::connect(NodeId remote_node, Port remote_port,
   auto conn = TcpConnection::Ptr(new TcpConnection(
       *this, config, remote_node, remote_port, local_port, /*is_client=*/true));
   connections_.emplace(ConnKey{local_port, remote_node, remote_port}, conn);
+  if (metrics_.connections) metrics_.connections->add();
   conn->start_connect();
   return conn;
+}
+
+void TcpStack::set_metrics(const obs::MetricsScope& scope) {
+  metrics_.connections = scope.counter("connections_opened");
+  metrics_.segments_sent = scope.counter("segments_sent");
+  metrics_.segments_received = scope.counter("segments_received");
+  metrics_.retransmits = scope.counter("retransmits");
+  metrics_.fast_retransmits = scope.counter("fast_retransmits");
+  metrics_.timeouts = scope.counter("timeouts");
+  metrics_.bytes_delivered = scope.counter("bytes_delivered");
 }
 
 Status TcpStack::listen(Port port, const TcpConfig& config,

@@ -25,6 +25,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "net/node.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace gdmp::net {
@@ -241,6 +242,11 @@ class TcpStack {
 
   std::size_t connection_count() const noexcept { return connections_.size(); }
 
+  /// Attaches stack-wide aggregate metrics (scope e.g. "site.cern.net.tcp").
+  /// Connections bump the cached counters; a detached scope costs one null
+  /// check per event.
+  void set_metrics(const obs::MetricsScope& scope);
+
  private:
   friend class TcpConnection;
 
@@ -269,11 +275,23 @@ class TcpStack {
   void send_rst(const Packet& cause);
   void detach(TcpConnection& conn);
 
+  // Cached registry handles; all nullptr when metrics are detached.
+  struct StackMetrics {
+    obs::Counter* connections = nullptr;
+    obs::Counter* segments_sent = nullptr;
+    obs::Counter* segments_received = nullptr;
+    obs::Counter* retransmits = nullptr;
+    obs::Counter* fast_retransmits = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* bytes_delivered = nullptr;
+  };
+
   sim::Simulator& simulator_;
   Node& node_;
   std::unordered_map<Port, Listener> listeners_;
   std::unordered_map<ConnKey, TcpConnection::Ptr, ConnKeyHash> connections_;
   Port next_ephemeral_ = 49152;
+  StackMetrics metrics_;
 };
 
 }  // namespace gdmp::net

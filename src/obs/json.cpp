@@ -1,0 +1,240 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gdmp::obs {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string* error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      fill_error(error);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail_ = "trailing characters";
+      fill_error(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void fill_error(std::string* error) {
+    if (error != nullptr) {
+      *error = fail_.empty() ? "parse error" : fail_;
+      *error += " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) {
+      fail_ = "unexpected end of input";
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        if (literal("true")) return true;
+        fail_ = "bad literal";
+        return false;
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        if (literal("false")) return true;
+        fail_ = "bad literal";
+        return false;
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        if (literal("null")) return true;
+        fail_ = "bad literal";
+        return false;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) {
+      fail_ = "expected '\"'";
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail_ = "truncated \\u escape";
+              return false;
+            }
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            char* endp = nullptr;
+            const long code = std::strtol(hex.c_str(), &endp, 16);
+            if (endp != hex.c_str() + 4) {
+              fail_ = "bad \\u escape";
+              return false;
+            }
+            // ASCII-range escapes only; others are replaced.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            fail_ = "bad escape";
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail_ = "unterminated string";
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == 'e' || c == 'E' || c == '-' || c == '+') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      fail_ = "expected value";
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* endp = nullptr;
+    out.number = std::strtod(token.c_str(), &endp);
+    if (endp != token.c_str() + token.size()) {
+      fail_ = "bad number";
+      return false;
+    }
+    out.type = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue element;
+      skip_ws();
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) {
+        fail_ = "expected ',' or ']'";
+        return false;
+      }
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) {
+        fail_ = "expected ':'";
+        return false;
+      }
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) {
+        fail_ = "expected ',' or '}'";
+        return false;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string fail_;
+};
+
+}  // namespace
+
+std::unique_ptr<JsonValue> json_parse(std::string_view text,
+                                      std::string* error) {
+  auto value = std::make_unique<JsonValue>();
+  Parser parser(text);
+  if (!parser.parse(*value, error)) return nullptr;
+  return value;
+}
+
+}  // namespace gdmp::obs

@@ -1,0 +1,39 @@
+// Minimal recursive-descent JSON parser, used to validate the metrics and
+// Chrome-trace exports (tests and the `trace_check` tool). Not a general
+// JSON library: no surrogate-pair decoding, numbers parsed as double.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gdmp::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_string() const noexcept { return type == Type::kString; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+};
+
+/// Parses `text`; on failure returns nullptr and fills `error` (position +
+/// reason) when non-null.
+std::unique_ptr<JsonValue> json_parse(std::string_view text,
+                                      std::string* error = nullptr);
+
+}  // namespace gdmp::obs

@@ -1,0 +1,118 @@
+// Sim-time tracing: spans with parent/child nesting and attributes, driven
+// by the simulator clock, exported as Chrome trace_event JSON that loads in
+// about:tracing / Perfetto.
+//
+// The simulator is single-threaded, so the tracer keeps an *ambient current
+// span* (set around RPC handler invocation, inherited by whatever the
+// handler schedules synchronously). Disabled tracers hand out SpanId{0} and
+// every operation on it is a no-op, so instrumentation left compiled in
+// costs one branch per call site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gdmp::obs {
+
+struct SpanId {
+  std::uint64_t value = 0;
+  bool valid() const noexcept { return value != 0; }
+};
+
+struct Span {
+  SpanId id;
+  SpanId parent;
+  std::string name;
+  SimTime start{};
+  SimTime end{};
+  bool open = true;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Collects spans against an injected sim clock. Usually accessed through
+/// the process-wide `Tracer::global()` (mirrors the Logger idiom); tests
+/// instantiate their own.
+class Tracer {
+ public:
+  using Clock = std::function<SimTime()>;
+
+  static Tracer& global();
+
+  /// Tracing is off until both a clock is installed and enable(true) is
+  /// called; while off, begin() returns the invalid span id.
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+  void enable(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_ && clock_ != nullptr; }
+
+  /// Starts a span. An invalid `parent` means "use the ambient current
+  /// span"; pass `root_parent()` to force a root span.
+  SpanId begin(std::string_view name, SpanId parent = {});
+  static SpanId root_parent() noexcept { return SpanId{kRootSentinel}; }
+
+  /// Ends a span. Ending an unknown or already-ended id is an orphan: it is
+  /// logged and counted, never a silent drop.
+  void end(SpanId id);
+
+  /// Attaches a key/value attribute; no-op on invalid ids.
+  void attr(SpanId id, std::string_view key, std::string_view value);
+  void attr(SpanId id, std::string_view key, std::int64_t value);
+
+  /// Ambient current span (single-threaded sim). Returns the previous
+  /// value so callers can restore it.
+  SpanId set_current(SpanId id) noexcept {
+    const SpanId prev = current_;
+    current_ = id;
+    return prev;
+  }
+  SpanId current() const noexcept { return current_; }
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  const Span* find(SpanId id) const noexcept;
+  std::int64_t orphan_ends() const noexcept { return orphan_ends_; }
+  std::size_t open_spans() const noexcept;
+
+  /// Chrome trace_event JSON ("X" complete events; sim ns → trace µs).
+  /// Parent/child ids ride along in each event's args for programmatic
+  /// checks; still-open spans are exported up to `now` and flagged.
+  std::string to_chrome_trace() const;
+
+  /// Writes to_chrome_trace() to `path`; file errors go through the Logger
+  /// and return false.
+  bool write_chrome_trace(const std::string& path) const;
+
+  void clear();
+
+ private:
+  static constexpr std::uint64_t kRootSentinel =
+      ~static_cast<std::uint64_t>(0);
+
+  Span* find_mutable(SpanId id) noexcept;
+
+  Clock clock_;
+  bool enabled_ = false;
+  std::uint64_t next_id_ = 1;
+  SpanId current_{};
+  std::vector<Span> spans_;
+  std::int64_t orphan_ends_ = 0;
+};
+
+/// RAII current-span guard: swaps the ambient span in, restores on exit.
+class CurrentSpanGuard {
+ public:
+  CurrentSpanGuard(Tracer& tracer, SpanId id) noexcept
+      : tracer_(tracer), prev_(tracer.set_current(id)) {}
+  ~CurrentSpanGuard() { tracer_.set_current(prev_); }
+  CurrentSpanGuard(const CurrentSpanGuard&) = delete;
+  CurrentSpanGuard& operator=(const CurrentSpanGuard&) = delete;
+
+ private:
+  Tracer& tracer_;
+  SpanId prev_;
+};
+
+}  // namespace gdmp::obs

@@ -1,6 +1,7 @@
 #include "rpc/rpc_server.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace gdmp::rpc {
 
@@ -86,6 +87,7 @@ void RpcServer::on_message(const std::shared_ptr<Session>& session,
   if (!session->authenticated) {
     if (message.kind != MessageKind::kAuthInit) {
       ++auth_failures_;
+      if (auth_failures_metric_) auth_failures_metric_->add();
       session->conn->abort();
       return;
     }
@@ -93,6 +95,7 @@ void RpcServer::on_message(const std::shared_ptr<Session>& session,
                                      stack_.simulator().now());
     if (!accepted.is_ok()) {
       ++auth_failures_;
+      if (auth_failures_metric_) auth_failures_metric_->add();
       GDMP_WARN("rpc.server", "GSI reject: ", accepted.status().to_string());
       RpcMessage reply;
       reply.kind = MessageKind::kAuthReply;
@@ -117,10 +120,28 @@ void RpcServer::on_message(const std::shared_ptr<Session>& session,
 void RpcServer::dispatch(const std::shared_ptr<Session>& session,
                          RpcMessage message) {
   ++requests_served_;
+  if (requests_metric_) requests_metric_->add();
   const auto it = methods_.find(message.method);
   const std::uint64_t id = message.request_id;
-  auto respond = [session, id](Status status,
-                               std::vector<std::uint8_t> payload) {
+
+  // Root of the replication span chain: covers request arrival through the
+  // (possibly much later) response. Handlers invoked below inherit it as
+  // the ambient current span.
+  auto& tracer = obs::Tracer::global();
+  obs::SpanId span;
+  if (tracer.enabled()) {
+    span = tracer.begin("rpc.request", obs::Tracer::root_parent());
+    tracer.attr(span, "method", message.method);
+    tracer.attr(span, "peer", session->peer.peer);
+  }
+
+  auto respond = [session, id, span](Status status,
+                                     std::vector<std::uint8_t> payload) {
+    if (span.valid()) {
+      auto& t = obs::Tracer::global();
+      t.attr(span, "status", status.is_ok() ? "ok" : status.to_string());
+      t.end(span);
+    }
     if (session->conn->state() == net::TcpConnection::State::kClosed) return;
     RpcMessage reply;
     reply.kind = MessageKind::kResponse;
@@ -136,7 +157,13 @@ void RpcServer::dispatch(const std::shared_ptr<Session>& session,
             {});
     return;
   }
+  const obs::CurrentSpanGuard guard(tracer, span);
   it->second(session->peer, session->id, message.payload, std::move(respond));
+}
+
+void RpcServer::set_metrics(const obs::MetricsScope& scope) {
+  requests_metric_ = scope.counter("requests_served");
+  auth_failures_metric_ = scope.counter("auth_failures");
 }
 
 }  // namespace gdmp::rpc

@@ -17,16 +17,17 @@ ReplicationScheduler::ReplicationScheduler(core::GdmpServer& server,
   if (config_.max_attempts < 1) config_.max_attempts = 1;
 
   // Attach to the server: cost-aware selection replaces the first-URL
-  // stub, completed transfers feed the bandwidth history, and notification
-  // auto-replication queues here.
+  // stub, the transfer channel's summaries feed the bandwidth history
+  // (successes only — failures are scored by record_failure() on the
+  // attempt path), and notification auto-replication queues here.
   std::weak_ptr<bool> alive = alive_;
   server_.set_replica_selector(selector_.selector_fn());
-  server_.on_transfer_observed =
-      [this, alive](const std::string& host,
-                    const gridftp::TransferResult& result) {
-        if (alive.expired()) return;
-        selector_.record(host, result);
-      };
+  obs::TransferChannel::Observer observer;
+  observer.on_complete = [this, alive](const obs::TransferSummary& summary) {
+    if (alive.expired()) return;
+    if (summary.ok) selector_.record_mbps(summary.peer, summary.mbps);
+  };
+  channel_token_ = server_.transfer_channel().subscribe(std::move(observer));
   server_.set_replication_enqueue(
       [this, alive](const core::PublishedFile& file) {
         if (alive.expired()) return;
@@ -37,8 +38,54 @@ ReplicationScheduler::ReplicationScheduler(core::GdmpServer& server,
 ReplicationScheduler::~ReplicationScheduler() {
   *alive_ = false;
   server_.set_replica_selector(core::first_replica_selector());
-  server_.on_transfer_observed = nullptr;
+  server_.transfer_channel().unsubscribe(channel_token_);
   server_.set_replication_enqueue(nullptr);
+}
+
+void ReplicationScheduler::set_metrics(const obs::MetricsScope& scope) {
+  metrics_.submitted = scope.counter("submitted");
+  metrics_.completed = scope.counter("completed");
+  metrics_.retries = scope.counter("retries");
+  metrics_.dead_lettered = scope.counter("dead_lettered");
+  metrics_.cancelled = scope.counter("cancelled");
+  metrics_.busy_deferrals = scope.counter("busy_deferrals");
+  metrics_.bytes_moved = scope.counter("bytes_moved");
+  metrics_.queue_depth = scope.gauge("queue_depth");
+  metrics_.active = scope.gauge("active");
+  update_gauges();
+}
+
+void ReplicationScheduler::update_gauges() {
+  if (metrics_.queue_depth) {
+    metrics_.queue_depth->set(static_cast<double>(queue_depth()));
+  }
+  if (metrics_.active) metrics_.active->set(active_);
+}
+
+void ReplicationScheduler::begin_queue_wait(Request& request) {
+  auto& tracer = obs::Tracer::global();
+  if (!tracer.enabled() || request.queue_span.valid()) return;
+  request.queue_span = tracer.begin(
+      "sched.queue_wait",
+      request.span.valid() ? request.span : obs::Tracer::root_parent());
+}
+
+void ReplicationScheduler::end_queue_wait(Request& request) {
+  if (!request.queue_span.valid()) return;
+  obs::Tracer::global().end(request.queue_span);
+  request.queue_span = obs::SpanId{};
+}
+
+void ReplicationScheduler::end_request_span(Request& request,
+                                            const char* outcome) {
+  end_queue_wait(request);
+  if (!request.span.valid()) return;
+  auto& tracer = obs::Tracer::global();
+  tracer.attr(request.span, "outcome", outcome);
+  tracer.attr(request.span, "attempts",
+              static_cast<std::int64_t>(request.attempts));
+  tracer.end(request.span);
+  request.span = obs::SpanId{};
 }
 
 std::uint64_t ReplicationScheduler::submit(LogicalFileName lfn, int priority,
@@ -50,10 +97,22 @@ std::uint64_t ReplicationScheduler::submit(LogicalFileName lfn, int priority,
   request.priority = priority;
   request.seq = next_seq_++;
   request.done = std::move(done);
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // Inherits the ambient span (the notify RPC when auto-replication
+    // enqueues from a notification handler).
+    request.span = tracer.begin("sched.request");
+    tracer.attr(request.span, "lfn", request.lfn);
+    tracer.attr(request.span, "priority",
+                static_cast<std::int64_t>(priority));
+  }
+  begin_queue_wait(request);
   ready_.insert(ReadyKey{request.priority, request.seq, id});
   requests_.emplace(id, std::move(request));
   ++stats_.submitted;
+  if (metrics_.submitted) metrics_.submitted->add();
   pump();
+  update_gauges();
   return id;
 }
 
@@ -86,10 +145,13 @@ bool ReplicationScheduler::cancel(std::uint64_t id) {
   if (it == requests_.end() || it->second.in_flight) return false;
   ready_.erase(ReadyKey{it->second.priority, it->second.seq, id});
   std::erase(deferred_, id);
+  end_request_span(it->second, "cancelled");
   Done done = std::move(it->second.done);
   const LogicalFileName lfn = it->second.lfn;
   requests_.erase(it);
   ++stats_.cancelled;
+  if (metrics_.cancelled) metrics_.cancelled->add();
+  update_gauges();
   if (done) {
     done(make_error(ErrorCode::kAborted, "replication cancelled: " + lfn));
   }
@@ -116,6 +178,8 @@ void ReplicationScheduler::dispatch(Request& request) {
   ++request.attempts;
   ++active_;
   stats_.peak_active = std::max(stats_.peak_active, active_);
+  end_queue_wait(request);
+  update_gauges();
 
   const std::uint64_t id = request.id;
   const LogicalFileName lfn = request.lfn;
@@ -146,6 +210,7 @@ void ReplicationScheduler::dispatch(Request& request) {
     ++per_source_[host];
     if (!selector_.measured(host)) selector_.note_probe(host);
   };
+  options.parent_span = request.span;
 
   // NOTE: `request` may be invalidated below — replicate() can complete
   // synchronously (replica already on site).
@@ -175,17 +240,21 @@ void ReplicationScheduler::on_attempt_done(
     // Not a failure and not an attempt: park until a slot frees up.
     request.busy_bounced = false;
     --request.attempts;
+    begin_queue_wait(request);
     deferred_.push_back(id);
     pump();
+    update_gauges();
     return;
   }
 
   if (result.is_ok() || result.code() == ErrorCode::kAlreadyExists) {
     if (result.is_ok()) {
       stats_.bytes_moved += result->bytes;
+      if (metrics_.bytes_moved) metrics_.bytes_moved->add(result->bytes);
       if (!source.empty()) ++stats_.completed_by_source[source];
     }
     ++stats_.completed;
+    if (metrics_.completed) metrics_.completed->add();
     settle(it, std::move(result));
     return;
   }
@@ -200,6 +269,7 @@ void ReplicationScheduler::on_attempt_done(
                                        request.attempts,
                                        simulator().now()});
     ++stats_.dead_lettered;
+    if (metrics_.dead_lettered) metrics_.dead_lettered->add();
     server_.note_replication_dead_lettered();
     settle(it, std::move(result));
     return;
@@ -208,21 +278,27 @@ void ReplicationScheduler::on_attempt_done(
   schedule_retry(request, result.status());
   release_deferred();
   pump();
+  update_gauges();
 }
 
 void ReplicationScheduler::settle(
     std::map<std::uint64_t, Request>::iterator it,
     Result<gridftp::TransferResult> result) {
+  const bool settled_ok =
+      result.is_ok() || result.code() == ErrorCode::kAlreadyExists;
+  end_request_span(it->second, settled_ok ? "completed" : "dead_lettered");
   Done done = std::move(it->second.done);
   requests_.erase(it);
   release_deferred();
   if (done) done(std::move(result));
   pump();
+  update_gauges();
 }
 
 void ReplicationScheduler::schedule_retry(Request& request,
                                           const Status& cause) {
   ++stats_.retries;
+  if (metrics_.retries) metrics_.retries->add();
   server_.note_replication_retried();
   const SimDuration delay = backoff_after(request.attempts);
   GDMP_DEBUG("sched", "retrying ", request.lfn, " in ", to_seconds(delay),
@@ -233,8 +309,10 @@ void ReplicationScheduler::schedule_retry(Request& request,
     if (alive.expired()) return;
     const auto it = requests_.find(id);
     if (it == requests_.end()) return;  // cancelled while backing off
+    begin_queue_wait(it->second);
     ready_.insert(ReadyKey{it->second.priority, it->second.seq, id});
     pump();
+    update_gauges();
   });
 }
 
@@ -243,6 +321,7 @@ void ReplicationScheduler::release_deferred() {
   for (const std::uint64_t id : deferred_) {
     const auto it = requests_.find(id);
     if (it == requests_.end()) continue;
+    begin_queue_wait(it->second);
     ready_.insert(ReadyKey{it->second.priority, it->second.seq, id});
   }
   deferred_.clear();

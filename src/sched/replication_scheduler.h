@@ -28,6 +28,9 @@
 
 #include "common/random.h"
 #include "gdmp/server.h"
+#include "obs/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/cost_selector.h"
 
 namespace gdmp::sched {
@@ -98,6 +101,11 @@ class ReplicationScheduler {
   /// unknown or in-flight ids. The request's callback fires with kAborted.
   bool cancel(std::uint64_t id);
 
+  /// Attaches queue/outcome counters and depth gauges (scope e.g.
+  /// "site.cern.sched"). The stats() struct stays authoritative; the
+  /// registry mirrors it.
+  void set_metrics(const obs::MetricsScope& scope);
+
   CostAwareSelector& cost_selector() noexcept { return selector_; }
   const SchedulerConfig& config() const noexcept { return config_; }
   const SchedulerStats& stats() const noexcept { return stats_; }
@@ -127,6 +135,8 @@ class ReplicationScheduler {
     bool busy_bounced = false;  // set by the chooser when all sources at cap
     std::string source;         // current attempt's source host
     Done done;
+    obs::SpanId span;        // "sched.request": submit -> settle
+    obs::SpanId queue_span;  // "sched.queue_wait": open while queued
   };
 
   /// Orders the ready queue: higher priority first, then submission order.
@@ -143,6 +153,10 @@ class ReplicationScheduler {
   sim::Simulator& simulator() noexcept { return server_.site().simulator; }
 
   void pump();
+  void begin_queue_wait(Request& request);
+  void end_queue_wait(Request& request);
+  void end_request_span(Request& request, const char* outcome);
+  void update_gauges();
   void dispatch(Request& request);
   void on_attempt_done(std::uint64_t id,
                        Result<gridftp::TransferResult> result);
@@ -163,6 +177,19 @@ class ReplicationScheduler {
   std::map<std::string, int> per_source_;
   std::vector<DeadLetter> dead_letters_;
   SchedulerStats stats_;
+  struct SchedMetrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* dead_lettered = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* busy_deferrals = nullptr;
+    obs::Counter* bytes_moved = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* active = nullptr;
+  };
+  SchedMetrics metrics_;
+  obs::TransferChannel::Token channel_token_ = 0;
   int active_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 1;

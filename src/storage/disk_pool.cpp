@@ -22,6 +22,7 @@ Result<FileInfo> DiskPool::add_file(std::string path, Bytes size,
     result->pinned = true;
   }
   touch(path);
+  update_space_gauges();
   return result;
 }
 
@@ -29,9 +30,11 @@ Result<FileInfo> DiskPool::lookup(std::string_view path) {
   auto result = fs_.stat(path);
   if (result.is_ok()) {
     ++stats_.hits;
+    if (metrics_.hits) metrics_.hits->add();
     touch(std::string(path));
   } else {
     ++stats_.misses;
+    if (metrics_.misses) metrics_.misses->add();
   }
   return result;
 }
@@ -52,6 +55,7 @@ Status DiskPool::remove(std::string_view path) {
       lru_.erase(it->second);
       lru_pos_.erase(it);
     }
+    update_space_gauges();
   }
   return status;
 }
@@ -73,12 +77,14 @@ Status DiskPool::reserve(Bytes bytes) {
                       "cannot reserve " + std::to_string(bytes) + " bytes");
   }
   reserved_ += bytes;
+  update_space_gauges();
   return Status::ok();
 }
 
 void DiskPool::release_reservation(Bytes bytes) {
   reserved_ -= bytes;
   if (reserved_ < 0) reserved_ = 0;
+  update_space_gauges();
 }
 
 Status DiskPool::set_content(std::string_view path, Bytes size,
@@ -90,7 +96,9 @@ Status DiskPool::set_content(std::string_view path, Bytes size,
     return make_error(ErrorCode::kResourceExhausted,
                       "no room to grow: " + std::string(path));
   }
-  return fs_.set_content(path, size, content_seed, now);
+  const Status status = fs_.set_content(path, size, content_seed, now);
+  if (status.is_ok()) update_space_gauges();
+  return status;
 }
 
 bool DiskPool::make_room(Bytes needed, std::string_view keep) {
@@ -113,6 +121,10 @@ bool DiskPool::make_room(Bytes needed, std::string_view keep) {
     needed -= info->size;
     ++stats_.evictions;
     stats_.bytes_evicted += info->size;
+    if (metrics_.evictions) {
+      metrics_.evictions->add();
+      metrics_.bytes_evicted->add(info->size);
+    }
     (void)fs_.remove(candidate);
     auto dead = std::next(it).base();
     lru_pos_.erase(candidate);
@@ -126,6 +138,22 @@ void DiskPool::touch(const std::string& path) {
   if (it != lru_pos_.end()) lru_.erase(it->second);
   lru_.push_front(path);
   lru_pos_[path] = lru_.begin();
+}
+
+void DiskPool::set_metrics(const obs::MetricsScope& scope) {
+  metrics_.hits = scope.counter("hits");
+  metrics_.misses = scope.counter("misses");
+  metrics_.evictions = scope.counter("evictions");
+  metrics_.bytes_evicted = scope.counter("bytes_evicted");
+  metrics_.used_bytes = scope.gauge("used_bytes");
+  metrics_.free_bytes = scope.gauge("free_bytes");
+  update_space_gauges();
+}
+
+void DiskPool::update_space_gauges() {
+  if (metrics_.used_bytes == nullptr) return;
+  metrics_.used_bytes->set(static_cast<double>(used_bytes()));
+  metrics_.free_bytes->set(static_cast<double>(free_bytes()));
 }
 
 }  // namespace gdmp::storage

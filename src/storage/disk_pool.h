@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/file_system.h"
 
@@ -77,10 +78,25 @@ class DiskPool {
   const DiskPoolStats& stats() const noexcept { return stats_; }
   Disk& disk() noexcept { return disk_; }
 
+  /// Attaches cache metrics (scope e.g. "site.cern.storage.pool"): hit/miss
+  /// /eviction counters plus used/free-byte gauges kept current on every
+  /// mutation.
+  void set_metrics(const obs::MetricsScope& scope);
+
  private:
   /// Evicts LRU unpinned files until at least `needed` bytes are free.
   bool make_room(Bytes needed, std::string_view keep);
   void touch(const std::string& path);
+  void update_space_gauges();
+
+  struct PoolMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* bytes_evicted = nullptr;
+    obs::Gauge* used_bytes = nullptr;
+    obs::Gauge* free_bytes = nullptr;
+  };
 
   Bytes capacity_;
   Disk& disk_;
@@ -90,6 +106,7 @@ class DiskPool {
   // LRU bookkeeping: most recent at the front.
   std::list<std::string> lru_;
   std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos_;
+  PoolMetrics metrics_;
 };
 
 }  // namespace gdmp::storage

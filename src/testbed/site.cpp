@@ -61,7 +61,39 @@ Site::Site(sim::Simulator& simulator, net::Network& network, net::Node& host,
                    }),
       gdmp_client_(gdmp_server_),
       objrep_(gdmp_server_, config_.objrep),
-      scheduler_(gdmp_server_, config_.sched) {}
+      scheduler_(gdmp_server_, config_.sched) {
+  if (!config_.enable_metrics) return;
+  // Every subsystem records into the site registry under a labelled
+  // scope; Site::metrics().dump() is the single source of truth.
+  const obs::MetricsScope root = metrics_.scope("site." + host_.name());
+  stack_.set_metrics(root.scope("net.tcp"));
+  pool_.set_metrics(root.scope("storage.pool"));
+  ftp_server_.set_metrics(root.scope("gridftp"));
+  ftp_server_.set_channel(&gdmp_server_.transfer_channel());
+  gdmp_server_.set_metrics(root.scope("gdmp"));
+  scheduler_.set_metrics(root.scope("sched"));
+
+  // The transfer channel also feeds the registry: throughput distribution
+  // and restart/outcome counts for every replication transfer.
+  const obs::MetricsScope transfer = root.scope("transfer");
+  obs::TransferChannel::Observer to_registry;
+  to_registry.on_complete = [completed = transfer.counter("completed"),
+                             failed = transfer.counter("failed"),
+                             mbps = transfer.histogram("mbps")](
+                                const obs::TransferSummary& summary) {
+    if (!summary.ok) {
+      failed->add();
+      return;
+    }
+    completed->add();
+    mbps->observe(summary.mbps);
+  };
+  to_registry.on_restart = [restarts = transfer.counter("restarts")](
+                               const obs::RestartMarker&) {
+    restarts->add();
+  };
+  gdmp_server_.transfer_channel().subscribe(std::move(to_registry));
+}
 
 Status Site::start() {
   if (const Status status = ftp_server_.start(); !status.is_ok()) {

@@ -12,6 +12,7 @@
 #include "net/network.h"
 #include "objrep/replicator.h"
 #include "objstore/persistency.h"
+#include "obs/metrics.h"
 #include "sched/replication_scheduler.h"
 
 namespace gdmp::testbed {
@@ -28,6 +29,10 @@ struct SiteConfig {
   gridftp::FtpServerConfig ftp{};
   objrep::ObjectReplicationConfig objrep{};
   sched::SchedulerConfig sched{};
+  /// When false, subsystems keep detached metric scopes (pointers stay
+  /// null) and the transfer channel gets no registry subscriber — the
+  /// compiled-in-but-disabled mode bench_obs_overhead measures.
+  bool enable_metrics = true;
 };
 
 class Site {
@@ -56,6 +61,10 @@ class Site {
   core::GdmpClient& gdmp() noexcept { return gdmp_client_; }
   objrep::ObjectReplicationService& objrep() noexcept { return objrep_; }
   sched::ReplicationScheduler& scheduler() noexcept { return scheduler_; }
+  /// The site's metric registry; every subsystem records under
+  /// "site.<name>.<subsystem>.". metrics().dump() is the one-stop view.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
   const SiteConfig& config() const noexcept { return config_; }
   const security::Certificate& credential() const noexcept {
     return services_.credential;
@@ -64,6 +73,9 @@ class Site {
  private:
   SiteConfig config_;
   net::Node& host_;
+  // Declared before the subsystems so the cached metric pointers they hold
+  // outlive every instrumented component.
+  obs::MetricsRegistry metrics_;
   net::TcpStack stack_;
   storage::Disk disk_;
   storage::DiskPool pool_;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/crc32.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/stats.h"
@@ -208,6 +209,37 @@ TEST(Stats, PercentilesNearestRank) {
   EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
   EXPECT_NEAR(p.quantile(0.5), 50.0, 1.0);
   EXPECT_NEAR(p.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(Stats, PercentilesInterleavedAddAndQuantile) {
+  Percentiles p;
+  p.add(30.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 30.0);
+  // Adding after a quantile() must invalidate the lazy sort: the new
+  // maximum has to be visible, not left out-of-place past the sorted run.
+  p.add(50.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 50.0);
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 50.0);
+}
+
+TEST(Logging, PerComponentLevelOverride) {
+  Logger& logger = Logger::global();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kOff);
+  logger.set_component_level("gridftp", LogLevel::kDebug);
+
+  EXPECT_TRUE(logger.enabled(LogLevel::kDebug, "gridftp"));
+  EXPECT_TRUE(logger.enabled(LogLevel::kDebug, "gridftp.client"));
+  EXPECT_FALSE(logger.enabled(LogLevel::kTrace, "gridftp"));
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug, "gridftpx"));
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug, "sched"));
+
+  logger.clear_component_levels();
+  logger.set_level(saved);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug, "gridftp"));
 }
 
 TEST(Stats, TimeSeriesWindowMean) {

@@ -1,0 +1,413 @@
+// Tests for the telemetry subsystem: metrics registry semantics, snapshot
+// export/delta, sim-time tracing spans (nesting, orphans, Chrome export),
+// the transfer observer channel, and the end-to-end replication span chain
+// through a two-site grid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/channel.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/cost_selector.h"
+#include "testbed/grid.h"
+
+namespace gdmp::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterGaugeHistogramSemantics) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("a.events");
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42);
+  // Same name -> same instance.
+  EXPECT_EQ(&registry.counter("a.events"), &counter);
+
+  Gauge& gauge = registry.gauge("a.depth");
+  gauge.set(3.0);
+  gauge.add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+
+  Histogram& histogram = registry.histogram("a.mbps", {1.0, 10.0, 100.0});
+  histogram.observe(0.5);    // bucket 0 (<= 1)
+  histogram.observe(5.0);    // bucket 1 (<= 10)
+  histogram.observe(5000.0); // overflow bucket
+  ASSERT_EQ(histogram.bucket_counts().size(), 4u);
+  EXPECT_EQ(histogram.bucket_counts()[0], 1);
+  EXPECT_EQ(histogram.bucket_counts()[1], 1);
+  EXPECT_EQ(histogram.bucket_counts()[3], 1);
+  EXPECT_EQ(histogram.stats().count(), 3);
+  EXPECT_DOUBLE_EQ(histogram.stats().min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.stats().max(), 5000.0);
+}
+
+TEST(Metrics, KindMismatchHandsOutScratchNotCrash) {
+  MetricsRegistry registry;
+  registry.counter("x.thing").add(7);
+  // Same name, different kind: logged and diverted to a scratch metric
+  // that never reaches snapshots.
+  Gauge& scratch = registry.gauge("x.thing");
+  scratch.set(99.0);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.entries.size(), 1u);
+  EXPECT_EQ(snapshot.entries[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snapshot.entries[0].counter, 7);
+}
+
+TEST(Metrics, ScopePrefixesAndDetachedScopeReturnsNull) {
+  MetricsRegistry registry;
+  const MetricsScope site = registry.scope("site.cern");
+  const MetricsScope ftp = site.scope("gridftp");
+  Counter* bytes = ftp.counter("bytes_sent");
+  ASSERT_NE(bytes, nullptr);
+  bytes->add(10);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.entries.size(), 1u);
+  EXPECT_EQ(snapshot.entries[0].name, "site.cern.gridftp.bytes_sent");
+
+  const MetricsScope detached;
+  EXPECT_FALSE(detached.attached());
+  EXPECT_EQ(detached.counter("anything"), nullptr);
+  EXPECT_EQ(detached.gauge("anything"), nullptr);
+  EXPECT_EQ(detached.histogram("anything"), nullptr);
+  EXPECT_EQ(detached.scope("child").counter("x"), nullptr);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsCountersKeepsGauges) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  Histogram& histogram = registry.histogram("h");
+  counter.add(5);
+  gauge.set(1.0);
+  histogram.observe(2.0);
+  const MetricsSnapshot before = registry.snapshot();
+  counter.add(3);
+  gauge.set(9.0);
+  histogram.observe(4.0);
+  const MetricsSnapshot delta = registry.snapshot().delta_since(before);
+  std::map<std::string, MetricsSnapshot::Entry> by_name;
+  for (const auto& entry : delta.entries) by_name[entry.name] = entry;
+  EXPECT_EQ(by_name["c"].counter, 3);
+  EXPECT_DOUBLE_EQ(by_name["g"].gauge, 9.0);
+  EXPECT_EQ(by_name["h"].count, 1);
+}
+
+TEST(Metrics, JsonExportParsesBack) {
+  MetricsRegistry registry;
+  registry.counter("site.a.rpc.requests \"quoted\"").add(3);
+  registry.gauge("site.a.pool.used").set(0.5);
+  registry.histogram("site.a.mbps").observe(12.5);
+  std::string error;
+  const auto parsed = json_parse(registry.to_json(), &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  ASSERT_TRUE(parsed->is_object());
+  const JsonValue* counter =
+      parsed->get("site.a.rpc.requests \"quoted\"");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->get("value")->number, 3.0);
+  const JsonValue* histogram = parsed->get("site.a.mbps");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_DOUBLE_EQ(histogram->get("count")->number, 1.0);
+
+  const std::string dump = registry.dump();
+  EXPECT_NE(dump.find("site.a.pool.used"), std::string::npos);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_EQ(json_parse("{\"a\": ", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(json_parse("[1, 2,]", &error), nullptr);
+  EXPECT_EQ(json_parse("{} trailing", &error), nullptr);
+  const auto ok = json_parse(R"({"a": [1, true, null, "s\n"]})", &error);
+  ASSERT_NE(ok, nullptr) << error;
+  EXPECT_EQ(ok->get("a")->array.size(), 4u);
+}
+
+// ---------------------------------------------------------------- tracing
+
+class TracerTest : public ::testing::Test {
+ protected:
+  Tracer tracer_;
+  SimTime now_ = 0;
+
+  void SetUp() override {
+    tracer_.set_clock([this] { return now_; });
+    tracer_.enable(true);
+  }
+};
+
+TEST_F(TracerTest, NestingExplicitAmbientAndRoot) {
+  const SpanId root = tracer_.begin("rpc.request", Tracer::root_parent());
+  {
+    const CurrentSpanGuard guard(tracer_, root);
+    now_ = 5 * kMillisecond;
+    const SpanId child = tracer_.begin("sched.request");  // ambient parent
+    const SpanId grandchild = tracer_.begin("gdmp.replicate", child);
+    now_ = 9 * kMillisecond;
+    tracer_.end(grandchild);
+    tracer_.end(child);
+  }
+  now_ = 10 * kMillisecond;
+  tracer_.end(root);
+
+  ASSERT_EQ(tracer_.spans().size(), 3u);
+  const Span* root_span = tracer_.find(root);
+  ASSERT_NE(root_span, nullptr);
+  EXPECT_FALSE(root_span->parent.valid());
+  EXPECT_FALSE(root_span->open);
+  EXPECT_EQ(root_span->start, 0);
+  EXPECT_EQ(root_span->end, 10 * kMillisecond);
+  const Span& child_span = tracer_.spans()[1];
+  EXPECT_EQ(child_span.parent.value, root.value);
+  const Span& grandchild_span = tracer_.spans()[2];
+  EXPECT_EQ(grandchild_span.parent.value, child_span.id.value);
+  EXPECT_EQ(tracer_.open_spans(), 0u);
+}
+
+TEST_F(TracerTest, DisabledTracerIsInert) {
+  tracer_.enable(false);
+  const SpanId span = tracer_.begin("nope");
+  EXPECT_FALSE(span.valid());
+  tracer_.attr(span, "k", "v");
+  tracer_.end(span);  // no-op, not an orphan
+  EXPECT_TRUE(tracer_.spans().empty());
+  EXPECT_EQ(tracer_.orphan_ends(), 0);
+}
+
+TEST_F(TracerTest, OrphanEndsAreCountedNeverSilent) {
+  const SpanId span = tracer_.begin("s");
+  tracer_.end(span);
+  tracer_.end(span);  // double end
+  tracer_.end(SpanId{424242});  // unknown id
+  EXPECT_EQ(tracer_.orphan_ends(), 2);
+}
+
+TEST_F(TracerTest, ChromeTraceExportIsWellFormed) {
+  const SpanId a = tracer_.begin("outer", Tracer::root_parent());
+  tracer_.attr(a, "lfn", "lfn://cms/x \"quoted\"");
+  now_ = 2 * kMillisecond;
+  const SpanId b = tracer_.begin("inner", a);
+  tracer_.attr(b, "stripe", std::int64_t{3});
+  now_ = 4 * kMillisecond;
+  tracer_.end(b);
+  now_ = 6 * kMillisecond;
+  tracer_.end(a);
+  const SpanId open = tracer_.begin("still.open", Tracer::root_parent());
+  (void)open;
+
+  std::string error;
+  const auto parsed = json_parse(tracer_.to_chrome_trace(), &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  const JsonValue* events = parsed->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* name = event.get("name");
+    if (name == nullptr) continue;
+    if (name->string == "outer") outer = &event;
+    if (name->string == "inner") inner = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->get("ph")->string, "X");
+  // sim ns -> trace µs.
+  EXPECT_DOUBLE_EQ(outer->get("ts")->number, 0.0);
+  EXPECT_DOUBLE_EQ(outer->get("dur")->number, 6000.0);
+  EXPECT_DOUBLE_EQ(inner->get("ts")->number, 2000.0);
+  // Parent/child ids ride in args for programmatic checks; roots omit
+  // parent_id.
+  EXPECT_EQ(outer->get("args")->get("parent_id"), nullptr);
+  EXPECT_DOUBLE_EQ(inner->get("args")->get("parent_id")->number,
+                   outer->get("args")->get("span_id")->number);
+  EXPECT_EQ(inner->get("args")->get("stripe")->string, "3");
+}
+
+// ---------------------------------------------------------------- channel
+
+TEST(TransferChannel, FanOutAndUnsubscribe) {
+  TransferChannel channel;
+  EXPECT_FALSE(channel.has_subscribers());
+  int perfs = 0, restarts = 0, completes = 0;
+  TransferChannel::Observer observer;
+  observer.on_perf = [&](const PerfMarker&) { ++perfs; };
+  observer.on_restart = [&](const RestartMarker&) { ++restarts; };
+  observer.on_complete = [&](const TransferSummary&) { ++completes; };
+  const auto token = channel.subscribe(std::move(observer));
+  TransferChannel::Observer complete_only;
+  complete_only.on_complete = [&](const TransferSummary&) { ++completes; };
+  const auto token2 = channel.subscribe(std::move(complete_only));
+
+  EXPECT_TRUE(channel.has_subscribers());
+  channel.perf(PerfMarker{});
+  channel.restart(RestartMarker{});
+  channel.complete(TransferSummary{});
+  EXPECT_EQ(perfs, 1);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(completes, 2);
+
+  channel.unsubscribe(token);
+  channel.complete(TransferSummary{});
+  EXPECT_EQ(completes, 3);  // only the second observer remains
+  channel.unsubscribe(token2);
+  EXPECT_FALSE(channel.has_subscribers());
+}
+
+// The channel-fed EWMA history must match PR 1's direct
+// on_transfer_observed feed: successes recorded with the same mbps, same
+// peer, failures ignored (they are scored by record_failure elsewhere).
+TEST(TransferChannel, SummaryFeedMatchesDirectEwmaFeed) {
+  sched::CostAwareSelector direct(0.3);
+  sched::CostAwareSelector channel_fed(0.3);
+
+  TransferChannel channel;
+  TransferChannel::Observer observer;
+  observer.on_complete = [&](const TransferSummary& summary) {
+    if (summary.ok) channel_fed.record_mbps(summary.peer, summary.mbps);
+  };
+  channel.subscribe(std::move(observer));
+
+  const struct {
+    const char* host;
+    double mbps;
+    bool ok;
+  } transfers[] = {
+      {"cern", 18.5, true}, {"anl", 7.25, true},  {"cern", 22.0, true},
+      {"anl", 0.0, false},  {"fnal", 33.1, true}, {"cern", 11.0, true},
+  };
+  for (const auto& t : transfers) {
+    if (t.ok) {
+      gridftp::TransferResult result;
+      result.mbps = t.mbps;
+      direct.record(t.host, result);  // the PR 1 path
+    }
+    TransferSummary summary;
+    summary.peer = t.host;
+    summary.mbps = t.mbps;
+    summary.ok = t.ok;
+    channel.complete(summary);  // the channel path
+  }
+  for (const char* host : {"cern", "anl", "fnal"}) {
+    EXPECT_DOUBLE_EQ(channel_fed.estimate(host), direct.estimate(host))
+        << host;
+  }
+  EXPECT_EQ(channel_fed.observations(), direct.observations());
+}
+
+// ------------------------------------------------- end-to-end span chain
+
+/// Spans captured from a real two-site auto-replication, keyed by name.
+TEST(ObservabilityIntegration, ReplicationSpanChainAndSiteMetrics) {
+  using namespace gdmp::testbed;
+  GridConfig config = two_site_config("cern", "anl");
+  config.event_count = 1000;
+  for (auto& spec : config.sites) {
+    spec.site.gdmp.transfer.parallel_streams = 4;
+    spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
+  }
+  config.sites[1].site.gdmp.auto_replicate_on_notify = true;
+  Grid grid(config);
+  ASSERT_TRUE(grid.start().is_ok());
+  Site& cern = grid.site(0);
+  Site& anl = grid.site(1);
+
+  auto& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_clock([&grid] { return grid.simulator().now(); });
+  tracer.enable(true);
+
+  bool subscribed = false;
+  anl.gdmp().subscribe(cern.host().id(), 2000,
+                       [&](Status s) { subscribed = s.is_ok(); });
+  grid.run_until(grid.simulator().now() + 30 * kSecond);
+  ASSERT_TRUE(subscribed);
+
+  const LogicalFileName lfn = "lfn://cms/obs/f0";
+  ASSERT_TRUE(cern.pool()
+                  .add_file(cern.gdmp_server().local_path_for(lfn),
+                            8 * kMiB, 0x0b5u, grid.simulator().now())
+                  .is_ok());
+  core::PublishedFile file;
+  file.lfn = lfn;
+  cern.gdmp().publish({file}, [](Status) {});
+  grid.run_until(grid.simulator().now() + 3600 * kSecond);
+  tracer.enable(false);
+
+  ASSERT_TRUE(anl.scheduler().idle());
+  EXPECT_EQ(anl.gdmp_server().stats().files_replicated, 1);
+  EXPECT_EQ(tracer.orphan_ends(), 0);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+
+  // Index the chain: find one span per name along the replicate path.
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const Span& span : tracer.spans()) by_id[span.id.value] = &span;
+  auto find_named = [&](const std::string& name) -> const Span* {
+    for (const Span& span : tracer.spans()) {
+      if (span.name == name) return &span;
+    }
+    return nullptr;
+  };
+  const Span* sched_request = find_named("sched.request");
+  const Span* queue_wait = find_named("sched.queue_wait");
+  const Span* replicate = find_named("gdmp.replicate");
+  const Span* transfer = find_named("gridftp.transfer");
+  const Span* crc = find_named("gridftp.crc_check");
+  const Span* catalog_update = find_named("gdmp.catalog_update");
+  ASSERT_NE(sched_request, nullptr);
+  ASSERT_NE(queue_wait, nullptr);
+  ASSERT_NE(replicate, nullptr);
+  ASSERT_NE(transfer, nullptr);
+  ASSERT_NE(crc, nullptr);
+  ASSERT_NE(catalog_update, nullptr);
+
+  // sched.request hangs off the notify RPC; everything else chains down.
+  ASSERT_TRUE(sched_request->parent.valid());
+  EXPECT_EQ(by_id.at(sched_request->parent.value)->name, "rpc.request");
+  EXPECT_EQ(queue_wait->parent.value, sched_request->id.value);
+  EXPECT_EQ(replicate->parent.value, sched_request->id.value);
+  EXPECT_EQ(transfer->parent.value, replicate->id.value);
+  EXPECT_EQ(crc->parent.value, transfer->id.value);
+  EXPECT_EQ(catalog_update->parent.value, replicate->id.value);
+
+  // The transfer ran with >= 2 parallel-stream child spans.
+  int streams = 0;
+  for (const Span& span : tracer.spans()) {
+    if (span.name == "gridftp.stream" &&
+        span.parent.value == transfer->id.value) {
+      ++streams;
+    }
+  }
+  EXPECT_GE(streams, 2);
+
+  // Site metrics are the single source of truth across subsystems.
+  const std::string dump = anl.metrics().dump();
+  for (const char* needle :
+       {"site.anl.gdmp.files_replicated 1", "site.anl.sched.completed 1",
+        "site.anl.net.tcp.connections", "site.anl.gridftp.rpc.requests_served",
+        "site.anl.transfer.completed 1"}) {
+    EXPECT_NE(dump.find(needle), std::string::npos) << needle << "\n" << dump;
+  }
+  // The producer side serves the RETR: its gridftp counters moved too.
+  const auto& ftp_stats = cern.ftp_server().stats();
+  const std::string cern_dump = cern.metrics().dump();
+  EXPECT_NE(cern_dump.find("site.cern.gridftp.retrievals " +
+                           std::to_string(ftp_stats.retrievals)),
+            std::string::npos);
+
+  tracer.clear();
+}
+
+}  // namespace
+}  // namespace gdmp::obs

@@ -1,0 +1,126 @@
+// trace_check: validates a Chrome trace_event JSON file produced by the
+// tracer (obs/trace.h). Used by check.sh as the trace-export smoke test.
+//
+//   $ ./tools/trace_check run.json [--require name ...]
+//
+// Checks that the file parses, that traceEvents is an array of well-formed
+// "X" events (name/ph/ts/dur/pid/tid present, ts/dur numeric and
+// non-negative), that every parent_id refers to a span_id present in the
+// file, and that each --require'd span name occurs at least once. Exit 0 on
+// success; prints the first failure and exits 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using gdmp::obs::JsonValue;
+
+bool fail(const std::string& message) {
+  std::fprintf(stderr, "trace_check: %s\n", message.c_str());
+  return false;
+}
+
+bool check_trace(const JsonValue& root,
+                 const std::vector<std::string>& required) {
+  if (!root.is_object()) return fail("top level is not an object");
+  const JsonValue* events = root.get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail("missing traceEvents array");
+  }
+
+  std::set<double> span_ids;
+  std::set<std::string> names;
+  for (const JsonValue& event : events->array) {
+    if (!event.is_object()) return fail("event is not an object");
+    const JsonValue* name = event.get("name");
+    const JsonValue* ph = event.get("ph");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
+      return fail("event without a name");
+    }
+    if (ph == nullptr || !ph->is_string()) {
+      return fail("event '" + name->string + "' without ph");
+    }
+    if (ph->string != "X") continue;  // only complete events carry spans
+    for (const char* key : {"ts", "dur"}) {
+      const JsonValue* value = event.get(key);
+      if (value == nullptr || !value->is_number() || value->number < 0) {
+        return fail("event '" + name->string + "': bad " + key);
+      }
+    }
+    for (const char* key : {"pid", "tid"}) {
+      if (const JsonValue* value = event.get(key);
+          value == nullptr || !value->is_number()) {
+        return fail("event '" + name->string + "': bad " + key);
+      }
+    }
+    names.insert(name->string);
+    if (const JsonValue* args = event.get("args"); args != nullptr) {
+      if (const JsonValue* id = args->get("span_id");
+          id != nullptr && id->is_number()) {
+        span_ids.insert(id->number);
+      }
+    }
+  }
+
+  for (const JsonValue& event : events->array) {
+    const JsonValue* args = event.get("args");
+    if (args == nullptr) continue;
+    const JsonValue* parent = args->get("parent_id");
+    if (parent == nullptr || !parent->is_number()) continue;
+    if (!span_ids.contains(parent->number)) {
+      const JsonValue* name = event.get("name");
+      return fail("event '" + (name ? name->string : "?") +
+                  "': parent_id " + std::to_string(parent->number) +
+                  " not in file");
+    }
+  }
+
+  for (const std::string& name : required) {
+    if (!names.contains(name)) {
+      return fail("required span '" + name + "' not present");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_check <trace.json> [--require name ...]\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<std::string> required;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--require") continue;
+    required.emplace_back(argv[i]);
+  }
+
+  std::string error;
+  const auto root = gdmp::obs::json_parse(text, &error);
+  if (root == nullptr) {
+    std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+  if (!check_trace(*root, required)) return 1;
+  std::printf("trace_check: %s ok (%zu events)\n", argv[1],
+              root->get("traceEvents")->array.size());
+  return 0;
+}
