@@ -33,6 +33,11 @@ int main() {
   //    routes every file through the replication scheduler.
   GridConfig config = two_site_config("cern", "anl");
   config.event_count = 10'000;
+  // Deterministic seeding hook: tools/determinism_check runs this example
+  // twice with the same GDMP_SEED and requires byte-identical output.
+  if (const char* seed_env = std::getenv("GDMP_SEED")) {
+    config.seed = std::strtoull(seed_env, nullptr, 10);
+  }
   for (auto& spec : config.sites) {
     spec.site.gdmp.transfer.parallel_streams = 4;
     spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;

@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build + test the default, asan and ubsan presets,
-# then smoke-test the trace export (observability example -> Chrome
-# trace_event JSON -> trace_check validates the replication span chain).
+# Full pre-merge check:
+#   1. lint   — gdmp_lint over src/ (project invariants: sim-determinism,
+#               callback lifetime, ownership cycles, hygiene) + clang-tidy
+#               when available (scripts/tidy.sh skips cleanly when not).
+#   2. build + test the default, asan and ubsan presets.
+#   3. trace export smoke test (observability example -> Chrome trace_event
+#      JSON -> trace_check validates the replication span chain).
+#   4. determinism check — the observability example must produce
+#      byte-identical metrics and a structurally identical span tree across
+#      two runs with the same seed.
 #
-#   scripts/check.sh            # all presets + trace smoke test
-#   scripts/check.sh default    # just one preset (skips the smoke test)
+#   scripts/check.sh            # lint + all presets + smoke + determinism
+#   scripts/check.sh default    # just one preset (skips lint/smoke)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +20,15 @@ presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan ubsan)
   smoke=1
+fi
+
+if [ "$smoke" -eq 1 ]; then
+  echo "==> lint [gdmp_lint]"
+  cmake --preset default >/dev/null
+  cmake --build build --target gdmp_lint -j "$(nproc)"
+  ./build/tools/gdmp_lint src/
+  echo "==> lint [clang-tidy]"
+  scripts/tidy.sh
 fi
 
 for preset in "${presets[@]}"; do
@@ -32,6 +48,9 @@ if [ "$smoke" -eq 1 ]; then
   ./build/tools/trace_check "$trace_file" --require \
     rpc.request sched.request sched.queue_wait gdmp.replicate \
     gridftp.transfer gridftp.stream gridftp.crc_check gdmp.catalog_update
+
+  echo "==> determinism check"
+  ./build/tools/determinism_check ./build/examples/observability
 fi
 
 echo "==> all checks passed: ${presets[*]}"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over src/ using the compile database exported by the
+# `default` CMake preset (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#
+# clang-tidy is optional tooling: when the binary is absent (minimal CI
+# images ship only the compiler), this script prints a notice and exits 0
+# so check.sh still gates on gdmp_lint, which is always built from source.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+
+if [[ -z "$TIDY" ]]; then
+  echo "tidy: clang-tidy not found on PATH; skipping (gdmp_lint still gates)"
+  exit 0
+fi
+
+if [[ ! -f build/compile_commands.json ]]; then
+  echo "tidy: build/compile_commands.json missing; configuring default preset"
+  cmake --preset default >/dev/null
+fi
+
+echo "tidy: using $TIDY"
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+"$TIDY" -p build --quiet "${sources[@]}"
+echo "tidy: ${#sources[@]} files clean"

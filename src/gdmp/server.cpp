@@ -17,46 +17,56 @@ GdmpServer::GdmpServer(SiteServices& site, GdmpConfig config,
       storage_manager_(site),
       selector_([](const std::vector<Uri>&) { return std::size_t{0}; }),
       rng_(0x6d6d ^ std::hash<std::string>{}(site.site_name)) {
+  // Handlers live in the RpcServer's method table; guard them so a handler
+  // dispatched during teardown cannot touch a dead GdmpServer.
+  std::weak_ptr<bool> alive = alive_;
   rpc_.register_method(
       kMethodSubscribe,
-      [this](const security::GsiContext& peer, std::uint64_t,
-             std::span<const std::uint8_t> p, Respond r) {
+      [this, alive](const security::GsiContext& peer, std::uint64_t,
+                    std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_subscribe(peer, p, std::move(r));
       });
   rpc_.register_method(
       kMethodUnsubscribe,
-      [this](const security::GsiContext& peer, std::uint64_t,
-             std::span<const std::uint8_t> p, Respond r) {
+      [this, alive](const security::GsiContext& peer, std::uint64_t,
+                    std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_unsubscribe(peer, p, std::move(r));
       });
   rpc_.register_method(
       kMethodNotify,
-      [this](const security::GsiContext& peer, std::uint64_t,
-             std::span<const std::uint8_t> p, Respond r) {
+      [this, alive](const security::GsiContext& peer, std::uint64_t,
+                    std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_notify(peer, p, std::move(r));
       });
   rpc_.register_method(
       kMethodGetCatalog,
-      [this](const security::GsiContext& peer, std::uint64_t,
-             std::span<const std::uint8_t>, Respond r) {
+      [this, alive](const security::GsiContext& peer, std::uint64_t,
+                    std::span<const std::uint8_t>, Respond r) {
+        if (alive.expired()) return;
         handle_get_catalog(peer, std::move(r));
       });
   rpc_.register_method(
       kMethodStage,
-      [this](const security::GsiContext& peer, std::uint64_t,
-             std::span<const std::uint8_t> p, Respond r) {
+      [this, alive](const security::GsiContext& peer, std::uint64_t,
+                    std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_stage(peer, p, std::move(r));
       });
   rpc_.register_method(
       "gdmp.release",
-      [this](const security::GsiContext&, std::uint64_t,
-             std::span<const std::uint8_t> p, Respond r) {
+      [this, alive](const security::GsiContext&, std::uint64_t,
+                    std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_release(p, std::move(r));
       });
   rpc_.register_method(
       kMethodDeleteFile,
-      [this](const security::GsiContext& peer, std::uint64_t,
-             std::span<const std::uint8_t> p, Respond r) {
+      [this, alive](const security::GsiContext& peer, std::uint64_t,
+                    std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_delete(peer, p, std::move(r));
       });
 }

@@ -275,13 +275,18 @@ void FtpClient::open_streams(const std::shared_ptr<Transfer>& transfer,
     conn->on_synthetic_data = [parser_raw](Bytes bytes) {
       parser_raw->feed_synthetic(bytes);
     };
-    conn->on_established = [this, alive, transfer, conn, i, n, established,
+    // Weak self-reference: a strong `conn` capture in its own callback slot
+    // would cycle (conn -> on_established -> conn) and leak failed streams.
+    std::weak_ptr<net::TcpConnection> weak_conn = conn;
+    conn->on_established = [this, alive, transfer, weak_conn, i, n, established,
                             ready](const Status& status) {
       if (alive.expired() || transfer->finished) return;
       if (!status.is_ok()) {
         complete(transfer, status);
         return;
       }
+      auto conn = weak_conn.lock();
+      if (!conn) return;
       DataHello hello;
       hello.session_token = transfer->token;
       hello.stream_index = static_cast<std::uint16_t>(i);
@@ -304,7 +309,9 @@ void FtpClient::open_streams(const std::shared_ptr<Transfer>& transfer,
   if (!transfer->monitor) {
     transfer->last_sampled_bytes = 0;
     transfer->monitor = std::make_unique<sim::PeriodicTimer>(
-        stack_.simulator(), transfer->options.monitor_interval, [transfer, this] {
+        stack_.simulator(), transfer->options.monitor_interval,
+        [this, alive, transfer] {
+          if (alive.expired()) return;
           const Bytes now_bytes = transfer->payload_bytes;
           const double mbps = throughput_mbps(
               now_bytes - transfer->last_sampled_bytes,
@@ -686,8 +693,10 @@ void FtpClient::third_party(net::NodeId source, net::Port source_port,
   w.i64(options.tcp_buffer);
   const SimTime started = stack_.simulator().now();
   (*rpc)->call(kCmdTransferTo, w.take(),
-               [this, rpc, done = std::move(done), started, options](
+               [this, alive = std::weak_ptr<bool>(alive_), rpc,
+                done = std::move(done), started, options](
                    Status status, std::vector<std::uint8_t> reply) {
+                 if (alive.expired()) return;
                  (*rpc)->close();
                  if (!status.is_ok()) {
                    done(status);

@@ -72,53 +72,65 @@ FtpServer::FtpServer(net::TcpStack& stack, storage::DiskPool& pool,
       rpc_(stack, config.control_port, ca, std::move(credential),
            config.control_tcp),
       fault_rng_(config.fault_seed) {
-  using namespace std::placeholders;
+  // The embedded RpcServer is a member, so these handlers cannot normally
+  // outlive `this` — but ~FtpServer tears down data sessions before rpc_ is
+  // destroyed, and handlers can fire from frames already queued in the
+  // simulator during that window. Guard them all with the liveness sentinel.
+  std::weak_ptr<bool> alive = alive_;
   rpc_.register_method(
       kCmdSetBuffer,
-      [this](const security::GsiContext&, std::uint64_t sid,
-             std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+      [this, alive](const security::GsiContext&, std::uint64_t sid,
+                    std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
         handle_sbuf(sid, p, std::move(r));
       });
   rpc_.register_method(
       kCmdPassive,
-      [this](const security::GsiContext&, std::uint64_t sid,
-             std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+      [this, alive](const security::GsiContext&, std::uint64_t sid,
+                    std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
         handle_pasv(sid, p, std::move(r));
       });
   rpc_.register_method(
       kCmdRetrieve,
-      [this](const security::GsiContext&, std::uint64_t,
-             std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+      [this, alive](const security::GsiContext&, std::uint64_t,
+                    std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
         handle_retr(p, std::move(r));
       });
   rpc_.register_method(
       kCmdStore,
-      [this](const security::GsiContext&, std::uint64_t,
-             std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+      [this, alive](const security::GsiContext&, std::uint64_t,
+                    std::span<const std::uint8_t> p, rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
         handle_stor(p, std::move(r));
       });
   rpc_.register_method(
-      kCmdSize, [this](const security::GsiContext&, std::uint64_t,
-                       std::span<const std::uint8_t> p,
-                       rpc::RpcServer::Respond r) {
+      kCmdSize, [this, alive](const security::GsiContext&, std::uint64_t,
+                              std::span<const std::uint8_t> p,
+                              rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
         handle_size(p, std::move(r));
       });
   rpc_.register_method(
-      kCmdChecksum, [this](const security::GsiContext&, std::uint64_t,
-                           std::span<const std::uint8_t> p,
-                           rpc::RpcServer::Respond r) {
+      kCmdChecksum, [this, alive](const security::GsiContext&, std::uint64_t,
+                                  std::span<const std::uint8_t> p,
+                                  rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
         handle_cksm(p, std::move(r));
       });
   rpc_.register_method(
-      kCmdDelete, [this](const security::GsiContext&, std::uint64_t,
-                         std::span<const std::uint8_t> p,
-                         rpc::RpcServer::Respond r) {
+      kCmdDelete, [this, alive](const security::GsiContext&, std::uint64_t,
+                                std::span<const std::uint8_t> p,
+                                rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
         handle_dele(p, std::move(r));
       });
   rpc_.register_method(
-      kCmdTransferTo, [this](const security::GsiContext&, std::uint64_t,
-                             std::span<const std::uint8_t> p,
-                             rpc::RpcServer::Respond r) {
+      kCmdTransferTo, [this, alive](const security::GsiContext&, std::uint64_t,
+                                    std::span<const std::uint8_t> p,
+                                    rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
         handle_xfer(p, std::move(r));
       });
 }
@@ -195,7 +207,9 @@ void FtpServer::handle_pasv(std::uint64_t session_id,
   data_tcp.recv_buffer = session->buffer;
   const Status listening = stack_.listen(
       session->data_port, data_tcp,
-      [this, session](net::TcpConnection::Ptr conn) {
+      [this, alive = std::weak_ptr<bool>(alive_),
+       session](net::TcpConnection::Ptr conn) {
+        if (alive.expired()) return;
         on_data_connection(session, std::move(conn));
       });
   if (!listening.is_ok()) {
@@ -275,10 +289,15 @@ void FtpServer::attach_stream(const std::shared_ptr<DataSession>& session,
 
   std::weak_ptr<bool> alive = alive_;
   // STOR receive path: parser callbacks update the session's range set.
-  stream->parser.on_payload = [this, session, stream](
+  // Raw pointer, not the shared_ptr: the parser is a member of the stream,
+  // so this callback cannot outlive it, and a strong capture would cycle
+  // (stream -> parser -> on_payload -> stream).
+  auto* stream_raw = stream.get();
+  stream->parser.on_payload = [this, alive, session, stream_raw](
                                   const BlockHeader& header, Bytes fresh) {
+    if (alive.expired()) return;
     const Bytes pos = header.offset + header.length -
-                      (stream->parser.payload_remaining() + fresh);
+                      (stream_raw->parser.payload_remaining() + fresh);
     session->received.add(pos, fresh);
     stats_.bytes_received += fresh;
     if (metrics_.bytes_received) metrics_.bytes_received->add(fresh);
@@ -291,7 +310,8 @@ void FtpServer::attach_stream(const std::shared_ptr<DataSession>& session,
       session->seed_conflict = true;
     }
   };
-  stream->parser.on_eod = [this, session] {
+  stream->parser.on_eod = [this, alive, session] {
+    if (alive.expired()) return;
     ++session->eod_count;
     check_stor_complete(session);
   };

@@ -111,9 +111,11 @@ void UrlCopy::striped_get(const std::vector<std::string>& source_urls,
   job->done = std::move(done);
 
   // Stat the file on the first source, then fan the range out.
+  std::weak_ptr<bool> alive = alive_;
   client_.file_size(
       job->endpoints.front().node, job->endpoints.front().port,
-      job->endpoints.front().path, [this, job](Result<Bytes> size) {
+      job->endpoints.front().path, [this, alive, job](Result<Bytes> size) {
+        if (alive.expired()) return;
         if (!size.is_ok()) {
           job->done(size.status());
           return;

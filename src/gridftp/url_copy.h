@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,9 @@ class UrlCopy {
 
   net::Network& network_;
   FtpClient client_;
+  /// Liveness sentinel: stripe fan-out continuations outlive synchronous
+  /// callers that tear the copier down on early failure.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace gdmp::gridftp

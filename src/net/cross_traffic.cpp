@@ -48,9 +48,12 @@ void CbrSource::arm() {
 }
 
 DatagramSink::DatagramSink(Node& node) {
-  node.set_protocol_handler(Protocol::kDatagram, [this](const Packet& p) {
-    bytes_received_ += p.wire_size();
-  });
+  node.set_protocol_handler(
+      Protocol::kDatagram,
+      [this, alive = std::weak_ptr<bool>(alive_)](const Packet& p) {
+        if (alive.expired()) return;
+        bytes_received_ += p.wire_size();
+      });
 }
 
 }  // namespace gdmp::net

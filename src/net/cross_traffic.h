@@ -63,6 +63,9 @@ class DatagramSink {
 
  private:
   Bytes bytes_received_ = 0;
+  /// Liveness sentinel: the handler stays installed on the node, which can
+  /// outlive the sink.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace gdmp::net

@@ -26,9 +26,15 @@ bool Link::enqueue(const Packet& packet) {
 
   // The packet stops occupying queue space once fully serialized, and
   // arrives one propagation delay later.
-  simulator_.schedule_at(done, [this, size] { backlog_ -= size; });
-  simulator_.schedule_at(done + config_.propagation,
-                         [this, packet] { deliver_(packet); });
+  std::weak_ptr<bool> alive = alive_;
+  simulator_.schedule_at(done, [this, alive, size] {
+    if (alive.expired()) return;
+    backlog_ -= size;
+  });
+  simulator_.schedule_at(done + config_.propagation, [this, alive, packet] {
+    if (alive.expired()) return;
+    deliver_(packet);
+  });
   return true;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "common/types.h"
 #include "net/packet.h"
@@ -56,6 +57,9 @@ class Link {
   LinkStats stats_;
   Bytes backlog_ = 0;
   SimTime busy_until_ = 0;  // when the transmitter becomes idle
+  /// Liveness sentinel: serialization/propagation completions can still be
+  /// queued in the simulator when a topology is torn down mid-run.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace gdmp::net

@@ -709,13 +709,18 @@ void TcpConnection::enter_closed(Status status) {
 
 TcpStack::TcpStack(sim::Simulator& simulator, Node& node)
     : simulator_(simulator), node_(node) {
-  node_.set_protocol_handler(Protocol::kTcp,
-                             [this](const Packet& p) { handle_packet(p); });
+  node_.set_protocol_handler(
+      Protocol::kTcp,
+      [this, alive = std::weak_ptr<bool>(alive_)](const Packet& p) {
+        if (alive.expired()) return;
+        handle_packet(p);
+      });
 }
 
 TcpConnection::Ptr TcpStack::connect(NodeId remote_node, Port remote_port,
                                      const TcpConfig& config) {
   const Port local_port = allocate_port();
+  // gdmp-lint: owned-new (private ctor forces Ptr ownership; no make_shared)
   auto conn = TcpConnection::Ptr(new TcpConnection(
       *this, config, remote_node, remote_port, local_port, /*is_client=*/true));
   connections_.emplace(ConnKey{local_port, remote_node, remote_port}, conn);
@@ -765,10 +770,10 @@ void TcpStack::handle_packet(const Packet& packet) {
   if (packet.has_flag(kFlagSyn) && !packet.has_flag(kFlagAck)) {
     const auto lit = listeners_.find(packet.dst_port);
     if (lit != listeners_.end()) {
-      auto conn = TcpConnection::Ptr(
-          new TcpConnection(*this, lit->second.config, packet.src,
-                            packet.src_port, packet.dst_port,
-                            /*is_client=*/false));
+      // gdmp-lint: owned-new (private ctor; owned by the accept-side Ptr)
+      auto conn = TcpConnection::Ptr(new TcpConnection(
+          *this, lit->second.config, packet.src, packet.src_port,
+          packet.dst_port, /*is_client=*/false));
       conn->accept_handler_ = lit->second.handler;
       conn->rcv_nxt_ = 1;  // peer SYN consumed sequence 0
       conn->peer_window_ = packet.advertised_window;

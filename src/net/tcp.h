@@ -292,6 +292,9 @@ class TcpStack {
   std::unordered_map<ConnKey, TcpConnection::Ptr, ConnKeyHash> connections_;
   Port next_ephemeral_ = 49152;
   StackMetrics metrics_;
+  /// Liveness sentinel: the node's protocol handler can fire for packets
+  /// already in flight after the stack is destroyed.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace gdmp::net

@@ -51,30 +51,41 @@ ObjectReplicationService::ObjectReplicationService(
     core::GdmpServer& server, ObjectReplicationConfig config)
     : server_(server), config_(config) {
   auto& rpc = server_.rpc();
+  // The GdmpServer (and its RpcServer) outlives this service in several
+  // benches; weak-guard every handler so a late dispatch is a no-op rather
+  // than a use-after-free.
+  std::weak_ptr<bool> alive = alive_;
   rpc.register_method(
       kMethodGetIndex,
-      [this](const security::GsiContext&, std::uint64_t,
-             std::span<const std::uint8_t>, Respond r) {
+      [this, alive](const security::GsiContext&, std::uint64_t,
+                    std::span<const std::uint8_t>, Respond r) {
+        if (alive.expired()) return;
         handle_get_index(std::move(r));
       });
   rpc.register_method(
-      kMethodPack, [this](const security::GsiContext&, std::uint64_t,
-                          std::span<const std::uint8_t> p, Respond r) {
+      kMethodPack, [this, alive](const security::GsiContext&, std::uint64_t,
+                                 std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_pack(p, std::move(r));
       });
   rpc.register_method(
-      kMethodChunk, [this](const security::GsiContext&, std::uint64_t,
-                           std::span<const std::uint8_t> p, Respond r) {
+      kMethodChunk, [this, alive](const security::GsiContext&, std::uint64_t,
+                                  std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_chunk(p, std::move(r));
       });
   rpc.register_method(
-      kMethodPackDone, [this](const security::GsiContext&, std::uint64_t,
-                              std::span<const std::uint8_t> p, Respond r) {
+      kMethodPackDone,
+      [this, alive](const security::GsiContext&, std::uint64_t,
+                    std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_pack_done(p, std::move(r));
       });
   rpc.register_method(
-      kMethodChunkAck, [this](const security::GsiContext&, std::uint64_t,
-                              std::span<const std::uint8_t> p, Respond r) {
+      kMethodChunkAck,
+      [this, alive](const security::GsiContext&, std::uint64_t,
+                    std::span<const std::uint8_t> p, Respond r) {
+        if (alive.expired()) return;
         handle_chunk_ack(p, std::move(r));
       });
 }

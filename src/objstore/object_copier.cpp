@@ -72,8 +72,11 @@ void ObjectCopier::pump(const std::shared_ptr<Job>& job) {
 
   // One seek+read per object, then the per-object CPU charge, then the
   // write is folded into the chunk emission (a single sequential write).
-  federation_.pool().disk().read(size, [this, job, id, size] {
-    simulator_.schedule(config_.cpu_per_object, [this, job, id, size] {
+  std::weak_ptr<bool> alive = alive_;
+  federation_.pool().disk().read(size, [this, alive, job, id, size] {
+    if (alive.expired()) return;
+    simulator_.schedule(config_.cpu_per_object, [this, alive, job, id, size] {
+      if (alive.expired()) return;
       job->chunk_objects.push_back(id);
       job->chunk_bytes += size;
       if (job->chunk_bytes >= config_.max_output_file) emit_chunk(job);

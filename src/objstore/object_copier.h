@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,10 @@ class ObjectCopier {
   Federation& federation_;
   CopierConfig config_;
   CopierStats stats_;
+  /// Liveness sentinel for the disk/CPU completion callbacks: a copier can
+  /// be destroyed mid-pack (its owner erases the job), and the pending
+  /// simulator events must then fall silent instead of touching `this`.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace gdmp::objstore

@@ -44,7 +44,10 @@ Status RpcServer::start() {
   if (listening_) return Status::ok();
   const Status status = stack_.listen(
       port_, tcp_config_,
-      [this](net::TcpConnection::Ptr conn) { on_accept(std::move(conn)); });
+      [this, alive = std::weak_ptr<bool>(alive_)](net::TcpConnection::Ptr conn) {
+        if (alive.expired()) return;
+        on_accept(std::move(conn));
+      });
   listening_ = status.is_ok();
   return status;
 }
@@ -60,6 +63,7 @@ void RpcServer::on_accept(net::TcpConnection::Ptr conn) {
   session->conn = std::move(conn);
   session->id = next_session_id_++;
   std::weak_ptr<bool> alive = alive_;
+  // gdmp-lint: keepalive-cycle (session web released in on_closed/~RpcServer)
   session->conn->on_data = [this, alive, session](
                                std::span<const std::uint8_t> data) {
     if (alive.expired()) return;
@@ -70,6 +74,7 @@ void RpcServer::on_accept(net::TcpConnection::Ptr conn) {
       session->conn->abort();
     }
   };
+  // gdmp-lint: keepalive-cycle (this closure clears both callbacks itself)
   session->conn->on_closed = [this, alive, session](const Status&) {
     // Session keeps itself alive through the captures; dropping the
     // callbacks here releases the cycle. Clearing on_closed destroys this

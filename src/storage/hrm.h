@@ -53,6 +53,8 @@ class HrmBackend final : public StorageBackend {
   sim::Simulator& simulator_;
   MassStorageSystem& mss_;
   SimDuration rpc_overhead_;  // one CORBA round trip per request
+  /// Liveness sentinel: the RPC-delay events must not touch a dead backend.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 /// Staging-script plug-in: each request forks an external stager process
@@ -75,6 +77,8 @@ class ScriptStagerBackend final : public StorageBackend {
   sim::Simulator& simulator_;
   MassStorageSystem& mss_;
   SimDuration spawn_latency_;
+  /// Liveness sentinel: the spawn-delay events must not touch a dead backend.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace gdmp::storage

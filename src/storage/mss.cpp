@@ -25,7 +25,9 @@ void MassStorageSystem::archive(const FileInfo& info, ArchiveCallback done) {
   FileInfo copy = info;
   copy.pinned = false;
   simulator_.schedule_at(
-      *drive_it, [this, copy = std::move(copy), done = std::move(done)] {
+      *drive_it, [this, alive = std::weak_ptr<bool>(alive_),
+                  copy = std::move(copy), done = std::move(done)] {
+        if (alive.expired()) return;
         auto result = archive_.create(copy.path, copy.size, copy.content_seed,
                                       simulator_.now(), /*replace=*/true);
         done(result.is_ok() ? Status::ok() : result.status());
@@ -78,7 +80,9 @@ void MassStorageSystem::run_stage(int drive, StageRequest request) {
   const FileInfo file = *archived;
   simulator_.schedule_at(
       drive_busy_until_[drive],
-      [this, file, request = std::move(request)]() mutable {
+      [this, alive = std::weak_ptr<bool>(alive_), file,
+       request = std::move(request)]() mutable {
+        if (alive.expired()) return;
         auto result = request.pool->add_file(file.path, file.size,
                                              file.content_seed,
                                              simulator_.now(),

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,9 @@ class MassStorageSystem {
   std::vector<SimTime> drive_busy_until_;
   std::deque<StageRequest> queue_;
   MssStats stats_;
+  /// Liveness sentinel: tape-drive completion events scheduled far in the
+  /// future must fall silent if the MSS is torn down first.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace gdmp::storage

@@ -1,0 +1,7 @@
+// Fixture header: deliberately missing #pragma once, and polluting every
+// includer's namespace.
+#include <string>
+
+using namespace std;
+
+inline string greet() { return "hello"; }

@@ -1,0 +1,38 @@
+// Fixture: raw `this` captured into an async sink without a liveness guard
+// (the PR 1 use-after-free class), plus the enable_shared_from_this variant
+// and a correctly guarded callback that must NOT be flagged.
+#include <functional>
+#include <memory>
+
+struct FakeSim {
+  template <typename F>
+  void schedule(int delay, F&& fn);
+};
+
+class Service {
+ public:
+  void start() {
+    sim_.schedule(10, [this] { ++ticks_; });  // finding: no guard
+  }
+
+  void start_guarded() {
+    std::weak_ptr<bool> alive = alive_;
+    sim_.schedule(10, [this, alive] {  // clean: alive guard captured
+      if (alive.expired()) return;
+      ++ticks_;
+    });
+  }
+
+ private:
+  FakeSim sim_;
+  int ticks_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+class Widget : public std::enable_shared_from_this<Widget> {
+ public:
+  void arm(FakeSim& sim) {
+    sim.schedule(5, [this] { fire(); });  // finding: suggest weak_from_this
+  }
+  void fire();
+};

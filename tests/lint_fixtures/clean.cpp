@@ -1,0 +1,30 @@
+// Fixture: must produce ZERO findings — justified suppressions and the
+// blessed callback patterns.
+#include <functional>
+#include <memory>
+
+struct Registry {
+  std::function<void()> slot;
+  template <typename F>
+  void subscribe(F&& fn);
+};
+
+// gdmp-lint: owned-new (fixture: ownership handed to caller-owned arena)
+int* arena_alloc() { return new int(3); }
+
+// gdmp-lint: owned-delete (fixture: arena reclaim, matches arena_alloc)
+void arena_free(int* p) { delete p; }
+
+class Guarded {
+ public:
+  void hook(Registry& registry) {
+    registry.subscribe([this, alive = std::weak_ptr<bool>(alive_)] {
+      if (alive.expired()) return;
+      ++events_;
+    });
+  }
+
+ private:
+  int events_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};

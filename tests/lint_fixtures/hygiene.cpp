@@ -1,0 +1,9 @@
+// Fixture: naked new/delete outside the smart-pointer factories.
+int* make_leak() { return new int(7); }
+
+void free_leak(int* p) { delete p; }
+
+// `= delete` declarations are not deletions.
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+};

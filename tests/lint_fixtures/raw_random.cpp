@@ -1,0 +1,16 @@
+// Fixture: raw random engines/devices must be flagged — common::Rng is the
+// only randomness source outside src/common/random.*.
+#include <cstdlib>
+#include <random>
+
+int bad_rand() { return std::rand(); }
+
+int bad_engine() {
+  std::mt19937 gen(1234);
+  return static_cast<int>(gen());
+}
+
+unsigned bad_device() {
+  std::random_device dev;
+  return dev();
+}

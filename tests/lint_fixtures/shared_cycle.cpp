@@ -1,0 +1,17 @@
+// Fixture: a callback slot on object X capturing X by shared_ptr is an
+// ownership cycle; binding through a raw pointer is the sanctioned escape.
+#include <functional>
+#include <memory>
+
+struct Conn {
+  std::function<void()> on_closed;
+};
+
+void wire_cycle(std::shared_ptr<Conn> conn) {
+  conn->on_closed = [conn] {};  // finding: conn keeps itself alive
+}
+
+void wire_raw(std::shared_ptr<Conn> conn) {
+  auto* raw = conn.get();
+  raw->on_closed = [raw] {};  // clean: raw pointer, no ownership
+}

@@ -1,0 +1,19 @@
+// Fixture: suppression hygiene. A token without justification is flagged
+// even though it silences its finding; an annotation matching nothing is
+// dead weight; unknown tokens are typos.
+int* bare() {
+  // gdmp-lint: owned-new
+  return new int(1);
+}
+
+void unused_annotation() {
+  // gdmp-lint: wallclock — nothing on the next line reads a clock
+  int x = 0;
+  (void)x;
+}
+
+void typo() {
+  // gdmp-lint: owned-nwe — token misspelled
+  int y = 0;
+  (void)y;
+}

@@ -1,0 +1,14 @@
+// Fixture: every wall-clock source must be flagged — simulated time is the
+// only clock in GDMP.
+#include <chrono>
+#include <ctime>
+
+long long bad_steady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long long bad_system() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long long bad_ctime() { return static_cast<long long>(std::time(nullptr)); }

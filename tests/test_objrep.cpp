@@ -1,6 +1,8 @@
 // Tests for object replication: selections, global index, full cycle.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "objrep/global_index.h"
 #include "objrep/replicator.h"
 #include "objrep/selection.h"
@@ -218,6 +220,39 @@ TEST(ObjectReplication, FullCycleMovesSelectedObjects) {
                      needed)
           .total_bytes;
   EXPECT_LT(outcome.transferred_bytes, file_equivalent / 4);
+}
+
+TEST(ObjectReplication, SurvivesDestructionMidReplication) {
+  // Destination-side request state rides through rpc calls, gridftp
+  // transfers and copier completions, all of which can fire after the
+  // service dies. Destroy a service with a replication in flight and drain
+  // the simulator: the alive_ sentinels must turn every queued continuation
+  // into a no-op (asan preset turns any miss into a hard failure).
+  ObjRepFixture f;
+  auto service = std::make_unique<ObjectReplicationService>(
+      f.grid.site(1).gdmp_server());
+  bool indexed = false;
+  service->refresh_index_from("cern", f.grid.site(0).host().id(), 2000,
+                              [&](Status s) { indexed = s.is_ok(); });
+  f.grid.run_until(f.grid.simulator().now() + 60 * kSecond);
+  ASSERT_TRUE(indexed);
+
+  Rng rng(7);
+  SelectionConfig selection;
+  selection.fraction = 1e-2;  // ~200 objects: several chunk round trips
+  const auto needed = select_objects(f.grid.model(), selection, rng);
+  ASSERT_FALSE(needed.empty());
+  bool done = false;
+  service->replicate_objects(
+      needed, [&](Result<ObjectReplicationService::Outcome>) { done = true; });
+  // One WAN propagation is 62.5 ms, so at 300 ms the pack request has
+  // reached the source and data is in flight, but the chunk transfers and
+  // acks cannot all have completed. Kill the service mid-reply-chain.
+  f.grid.run_until(f.grid.simulator().now() + 300 * kMillisecond);
+  ASSERT_FALSE(done);
+  service.reset();
+  f.grid.run_until(f.grid.simulator().now() + 3600 * kSecond);
+  EXPECT_FALSE(done);  // the orphaned completion chain went quiet
 }
 
 TEST(ObjectReplication, SourceTemporariesDeleted) {

@@ -2,6 +2,8 @@
 // object copier.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "objstore/object_copier.h"
 #include "objstore/persistency.h"
 
@@ -225,6 +227,30 @@ TEST(ObjectCopier, UnavailableObjectRejected) {
               [&](Status s) { status = s; });
   f.simulator.run();
   EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+}
+
+TEST(ObjectCopier, SurvivesDestructionMidPack) {
+  // The copier's pump schedules disk reads and CPU charges whose completions
+  // stay queued in the simulator after the copier dies. The alive_ sentinel
+  // must make them no-ops — under the asan preset this is a hard
+  // use-after-free check (the PR 1 bug class).
+  FederationFixture f;
+  (void)f.pool.add_file("/db", 10000LL * 10 * kKiB, 1, 0);
+  (void)f.federation.attach_range_file("/db", Tier::kAod, 0, 10000);
+  auto copier = std::make_unique<ObjectCopier>(f.simulator, f.federation);
+  std::vector<ObjectId> selection;
+  for (int e = 0; e < 500; ++e) {
+    selection.push_back(make_object_id(Tier::kAod, e * 13 % 10000));
+  }
+  bool completed = false;
+  copier->pack(selection, "/pack/doomed", nullptr,
+               [&](Status) { completed = true; });
+  // Advance far enough for reads to be in flight, then destroy the copier
+  // with completions still queued.
+  f.simulator.run_until(f.simulator.now() + 1 * kMillisecond);
+  copier.reset();
+  f.simulator.run();
+  EXPECT_FALSE(completed);  // the orphaned completion chain went quiet
 }
 
 TEST(ObjectCopier, DiskIoChargedPerObject) {

@@ -1,0 +1,221 @@
+// determinism_check: proves the sim-determinism invariant dynamically.
+//
+//   $ ./tools/determinism_check ./examples/observability [--seed N]
+//
+// Runs the given workload binary twice with the same seed (GDMP_SEED) and a
+// per-run GDMP_TRACE_FILE, then requires:
+//   1. identical stdout — the metrics dump is part of stdout, so every
+//      counter/gauge/histogram must match to the byte;
+//   2. an identical trace span tree — spans compared structurally
+//      (name, sim-time start, duration, children in order), so the whole
+//      event interleaving must replay exactly.
+// This is the dynamic counterpart of gdmp_lint's wallclock/raw-random
+// rules: statically nothing nondeterministic is reachable, and this check
+// demonstrates it end to end. Exit 0 on a perfect replay, 1 otherwise.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using gdmp::obs::JsonValue;
+
+/// Runs `binary` with GDMP_SEED/GDMP_TRACE_FILE set, capturing stdout.
+bool run_workload(const std::string& binary, const std::string& seed,
+                  const std::string& trace_file, std::string& stdout_text) {
+  const std::string command = "GDMP_SEED='" + seed + "' GDMP_TRACE_FILE='" +
+                              trace_file + "' '" + binary + "' 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buffer[4096];
+  stdout_text.clear();
+  std::size_t got = 0;
+  while ((got = fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    stdout_text.append(buffer, got);
+  }
+  return pclose(pipe) == 0;
+}
+
+/// Canonical textual form of the span tree: every "X" event keyed by
+/// span_id, children ordered by (ts, name), printed as
+/// `name@ts+dur` lines with indentation. Span ids themselves are left out
+/// so the comparison is purely structural.
+struct Span {
+  std::string name;
+  double ts = 0;
+  double dur = 0;
+  double parent = -1;
+  std::vector<Span*> children;
+};
+
+bool canonical_span_tree(const std::string& path, std::string& out,
+                         std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto root = gdmp::obs::json_parse(buffer.str(), &error);
+  if (root == nullptr) return false;
+  const JsonValue* events = root->get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    error = "missing traceEvents";
+    return false;
+  }
+
+  std::map<double, Span> spans;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.get("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string != "X") continue;
+    const JsonValue* args = event.get("args");
+    const JsonValue* id = args != nullptr ? args->get("span_id") : nullptr;
+    if (id == nullptr || !id->is_number()) continue;
+    Span& span = spans[id->number];
+    if (const JsonValue* name = event.get("name"); name != nullptr) {
+      span.name = name->string;
+    }
+    if (const JsonValue* ts = event.get("ts"); ts != nullptr) {
+      span.ts = ts->number;
+    }
+    if (const JsonValue* dur = event.get("dur"); dur != nullptr) {
+      span.dur = dur->number;
+    }
+    if (const JsonValue* parent = args->get("parent_id");
+        parent != nullptr && parent->is_number()) {
+      span.parent = parent->number;
+    }
+  }
+
+  std::vector<Span*> roots;
+  for (auto& [id, span] : spans) {
+    const auto parent = spans.find(span.parent);
+    if (span.parent >= 0 && parent != spans.end()) {
+      parent->second.children.push_back(&span);
+    } else {
+      roots.push_back(&span);
+    }
+  }
+  auto by_time = [](const Span* a, const Span* b) {
+    return std::tie(a->ts, a->name, a->dur) < std::tie(b->ts, b->name, b->dur);
+  };
+  std::ostringstream text;
+  auto print = [&](auto&& self, Span* span, int depth) -> void {
+    std::sort(span->children.begin(), span->children.end(), by_time);
+    text << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+         << span->name << "@" << span->ts << "+" << span->dur << "\n";
+    for (Span* child : span->children) self(self, child, depth + 1);
+  };
+  std::sort(roots.begin(), roots.end(), by_time);
+  for (Span* span : roots) print(print, span, 0);
+  out = text.str();
+  return true;
+}
+
+/// The workload echoes its GDMP_TRACE_FILE path, which differs per run by
+/// construction; rewrite it to a fixed placeholder before comparing.
+std::string normalize_stdout(std::string text, const std::string& trace_file) {
+  for (std::size_t pos = 0;
+       (pos = text.find(trace_file, pos)) != std::string::npos;) {
+    text.replace(pos, trace_file.size(), "<trace-file>");
+  }
+  return text;
+}
+
+void print_first_diff(const std::string& a, const std::string& b,
+                      const char* what) {
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  int line = 1;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    if (!ga && !gb) return;
+    if (!ga || !gb || la != lb) {
+      std::fprintf(stderr,
+                   "determinism_check: %s diverges at line %d:\n"
+                   "  run 1: %s\n  run 2: %s\n",
+                   what, line, ga ? la.c_str() : "<end of output>",
+                   gb ? lb.c_str() : "<end of output>");
+      return;
+    }
+    ++line;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string binary;
+  std::string seed = "42";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      seed = argv[++i];
+    } else if (binary.empty()) {
+      binary = arg;
+    }
+  }
+  if (binary.empty()) {
+    std::fprintf(stderr,
+                 "usage: determinism_check <workload-binary> [--seed N]\n");
+    return 2;
+  }
+
+  const std::string tag = std::to_string(static_cast<long>(getpid()));
+  const std::string trace1 = "/tmp/gdmp-det-" + tag + "-1.json";
+  const std::string trace2 = "/tmp/gdmp-det-" + tag + "-2.json";
+
+  std::string out1, out2;
+  if (!run_workload(binary, seed, trace1, out1)) {
+    std::fprintf(stderr, "determinism_check: run 1 failed\n");
+    return 1;
+  }
+  if (!run_workload(binary, seed, trace2, out2)) {
+    std::fprintf(stderr, "determinism_check: run 2 failed\n");
+    return 1;
+  }
+  out1 = normalize_stdout(std::move(out1), trace1);
+  out2 = normalize_stdout(std::move(out2), trace2);
+
+  int failures = 0;
+  if (out1 != out2) {
+    print_first_diff(out1, out2, "stdout (metrics dump)");
+    ++failures;
+  }
+  std::string tree1, tree2, error;
+  if (!canonical_span_tree(trace1, tree1, error) ||
+      !canonical_span_tree(trace2, tree2, error)) {
+    std::fprintf(stderr, "determinism_check: %s\n", error.c_str());
+    ++failures;
+  } else if (tree1 != tree2) {
+    print_first_diff(tree1, tree2, "trace span tree");
+    ++failures;
+  } else if (tree1.empty()) {
+    std::fprintf(stderr, "determinism_check: trace contains no spans\n");
+    ++failures;
+  }
+  std::remove(trace1.c_str());
+  std::remove(trace2.c_str());
+
+  if (failures != 0) return 1;
+  std::size_t spans = static_cast<std::size_t>(
+      std::count(tree1.begin(), tree1.end(), '\n'));
+  std::printf(
+      "determinism_check: ok — identical stdout (%zu bytes) and span tree "
+      "(%zu spans) across two seed=%s runs\n",
+      out1.size(), spans, seed.c_str());
+  return 0;
+}

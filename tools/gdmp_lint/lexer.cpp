@@ -1,0 +1,195 @@
+// Tokenizer for gdmp_lint: just enough C++ lexing to run token-level rule
+// passes. Comments and preprocessor directives are consumed here (recording
+// gdmp-lint annotations and `#pragma once`), so the rules never see them.
+#include "lint.h"
+
+#include <cctype>
+
+namespace gdmp::lint {
+namespace {
+
+constexpr const char* kAnnotationMarker = "gdmp-lint:";
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators lexed as a single token, longest first.
+constexpr const char* kMultiCharOps[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=",
+    "+=",  "-=",  "*=",  "/=",  "%=", "&=", "|=", "^=", "<<", ">>",
+    "&&",  "||",  "++",  "--",  ".*",
+};
+
+/// Parses a `gdmp-lint: token — justification` comment body.
+void parse_annotation(const std::string& comment, int line, FileScan& out) {
+  const std::size_t at = comment.find(kAnnotationMarker);
+  if (at == std::string::npos) return;
+  std::size_t i = at + std::string(kAnnotationMarker).size();
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  Suppression s;
+  s.line = line;
+  while (i < comment.size() && (is_ident_char(comment[i]) || comment[i] == '-')) {
+    s.token.push_back(comment[i++]);
+  }
+  // Justification: any run of >= 2 word characters after the token (dashes
+  // and punctuation alone do not justify anything).
+  int word_chars = 0;
+  for (; i < comment.size(); ++i) {
+    if (is_ident_char(comment[i])) {
+      if (++word_chars >= 2) {
+        s.justified = true;
+        break;
+      }
+    } else if (!std::isspace(static_cast<unsigned char>(comment[i]))) {
+      word_chars = 0;
+    }
+  }
+  if (!s.token.empty()) out.suppressions.push_back(s);
+}
+
+}  // namespace
+
+FileScan scan_source(const std::string& content) {
+  FileScan out;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Line comment: record annotations, consume to end of line.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const std::size_t eol = content.find('\n', i);
+      const std::size_t end = eol == std::string::npos ? n : eol;
+      parse_annotation(content.substr(i, end - i), line, out);
+      advance(end - i);
+      continue;
+    }
+
+    // Block comment (annotations inside are recorded at their line).
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      std::size_t j = i + 2;
+      int comment_line = line;
+      std::string current_line_text;
+      while (j < n && !(content[j] == '*' && j + 1 < n && content[j + 1] == '/')) {
+        if (content[j] == '\n') {
+          parse_annotation(current_line_text, comment_line, out);
+          current_line_text.clear();
+          ++comment_line;
+        } else {
+          current_line_text.push_back(content[j]);
+        }
+        ++j;
+      }
+      parse_annotation(current_line_text, comment_line, out);
+      advance((j + 2 <= n ? j + 2 : n) - i);
+      continue;
+    }
+
+    // Preprocessor directive: runs to end of line (honouring backslash
+    // continuations). Record `#pragma once`; nothing else is tokenized.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i;
+      std::string directive;
+      while (j < n) {
+        if (content[j] == '\\' && j + 1 < n && content[j + 1] == '\n') {
+          directive.push_back(' ');
+          j += 2;
+          continue;
+        }
+        if (content[j] == '\n') break;
+        directive.push_back(content[j]);
+        ++j;
+      }
+      if (directive.find("pragma") != std::string::npos &&
+          directive.find("once") != std::string::npos) {
+        out.has_pragma_once = true;
+      }
+      advance(j - i);
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim.push_back(content[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = content.find(closer, j);
+      out.tokens.push_back({TokenKind::kString, "\"\"", line});
+      advance((end == std::string::npos ? n : end + closer.size()) - i);
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        if (content[j] == '\n') break;  // unterminated; resync at newline
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kString, quote == '"' ? "\"\"" : "''", line});
+      advance((j < n ? j + 1 : n) - i);
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(content[j])) ++j;
+      out.tokens.push_back({TokenKind::kIdentifier, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (is_ident_char(content[j]) || content[j] == '.' ||
+                       ((content[j] == '+' || content[j] == '-') && j > i &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kNumber, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation: longest matching multi-char operator, else one char.
+    std::size_t op_len = 1;
+    for (const char* op : kMultiCharOps) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (len <= n - i && content.compare(i, len, op) == 0) {
+        op_len = len;
+        break;
+      }
+    }
+    out.tokens.push_back({TokenKind::kPunct, content.substr(i, op_len), line});
+    advance(op_len);
+  }
+  return out;
+}
+
+}  // namespace gdmp::lint

@@ -1,0 +1,113 @@
+// gdmp_lint: project-invariant checker for the GDMP codebase.
+//
+// A lightweight tokenizer (no libclang) plus a handful of rule passes that
+// enforce invariants the compiler cannot:
+//
+//   wallclock          sim-determinism: no wall-clock time sources outside
+//                      src/common/random.* — all time flows through
+//                      sim::Simulator.
+//   raw-random         sim-determinism: no raw random engines/devices
+//                      outside src/common/random.* — all randomness flows
+//                      through common::Rng.
+//   callback-lifetime  a lambda that captures raw `this` and is handed to
+//                      an async sink (simulator schedule, rpc call, tcp/
+//                      gridftp handler slot, disk I/O completion) must also
+//                      capture a liveness guard (`alive`/`weak*`/`self`),
+//                      the PR 1 use-after-free class.
+//   shared-cycle       a callback stored on object X whose capture list
+//                      captures X by shared_ptr keeps X alive through its
+//                      own member: an ownership cycle.
+//   naked-new          no `new` outside make_unique/make_shared (private
+//                      constructors get a justified suppression).
+//   naked-delete       no `delete` (except `= delete` declarations).
+//   using-namespace-header  no `using namespace` at header scope.
+//   missing-pragma-once     every header starts with `#pragma once`.
+//   bare-suppression   a `// gdmp-lint:` annotation with no justification.
+//   unused-suppression an annotation that suppresses nothing.
+//
+// Suppression syntax (same line as the finding or the line above):
+//
+//   // gdmp-lint: <token> — <individual justification, required>
+//
+// where <token> is the rule's suppression token: wallclock, raw-random,
+// owned-callback (for callback-lifetime), keepalive-cycle (for
+// shared-cycle), owned-new, owned-delete. Blanket (file- or region-wide)
+// suppression deliberately does not exist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdmp::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+// ---------------------------------------------------------------- lexer
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,
+  kNumber,
+  kString,   // string or char literal (contents not preserved)
+  kPunct,    // operators and punctuation; multi-char ops are one token
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One `// gdmp-lint: <token> — justification` annotation.
+struct Suppression {
+  int line = 0;
+  std::string token;
+  bool justified = false;  // has explanatory text after the token
+  mutable bool used = false;
+};
+
+struct FileScan {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  bool has_pragma_once = false;
+};
+
+/// Tokenizes C++ source: skips comments (recording gdmp-lint annotations),
+/// collapses string/char literals, skips preprocessor directives (recording
+/// `#pragma once`). Never fails; unrecognized bytes become punctuation.
+FileScan scan_source(const std::string& content);
+
+// ---------------------------------------------------------------- rules
+
+struct LintOptions {
+  /// Path substrings exempt from the determinism rules (the blessed
+  /// randomness/time shims live here).
+  std::vector<std::string> determinism_allowlist = {"common/random."};
+};
+
+/// Class names that inherit std::enable_shared_from_this, collected across
+/// the whole input set so out-of-line member definitions are attributed.
+std::vector<std::string> collect_esft_classes(const FileScan& scan);
+
+/// Runs every rule over one scanned file. `esft_classes` is the repo-wide
+/// set from collect_esft_classes.
+void lint_file(const std::string& path, const FileScan& scan,
+               const std::vector<std::string>& esft_classes,
+               const LintOptions& options, std::vector<Finding>& findings);
+
+/// Reads, scans and lints every file; findings come back sorted by
+/// (file, line, rule). Unreadable paths produce an `io-error` finding.
+std::vector<Finding> run_lint(const std::vector<std::string>& files,
+                              const LintOptions& options = {});
+
+/// Formats one finding as `file:line: [rule] message`.
+std::string format_finding(const Finding& finding);
+
+}  // namespace gdmp::lint

@@ -1,0 +1,67 @@
+// gdmp_lint CLI: walks the given files/directories and reports every
+// project-invariant violation (see lint.h for the rule catalogue).
+//
+//   $ ./tools/gdmp_lint src/                 # the pre-merge gate
+//   $ ./tools/gdmp_lint src/net/tcp.cpp      # a single file
+//
+// Exit 0 with no findings, 1 with findings, 2 on usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: gdmp_lint <file-or-directory>...\n");
+      return 0;
+    }
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      files.push_back(arg);
+    } else {
+      std::fprintf(stderr, "gdmp_lint: no such file or directory: %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: gdmp_lint <file-or-directory>...\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  const auto findings = gdmp::lint::run_lint(files);
+  for (const auto& finding : findings) {
+    std::printf("%s\n", gdmp::lint::format_finding(finding).c_str());
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "gdmp_lint: %zu files clean\n", files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "gdmp_lint: %zu finding(s) in %zu files\n",
+               findings.size(), files.size());
+  return 1;
+}

@@ -1,0 +1,566 @@
+// Rule passes for gdmp_lint. Everything here works on the token stream from
+// scan_source(); see lint.h for the rule catalogue and suppression syntax.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "lint.h"
+
+namespace gdmp::lint {
+namespace {
+
+// ------------------------------------------------------------ helpers
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+bool ident_is(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool punct_is(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Index of the punct matching `open` at `at` (one of ( [ {), or npos.
+std::size_t matching_close(const std::vector<Token>& tokens, std::size_t at) {
+  const std::string& open = tokens[at].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = at; i < tokens.size(); ++i) {
+    if (punct_is(tokens[i], open.c_str())) ++depth;
+    if (punct_is(tokens[i], close.c_str()) && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// Maps a rule name to its suppression-comment token ("" = unsuppressible).
+std::string suppression_token(const std::string& rule) {
+  if (rule == "callback-lifetime") return "owned-callback";
+  if (rule == "shared-cycle") return "keepalive-cycle";
+  if (rule == "naked-new") return "owned-new";
+  if (rule == "naked-delete") return "owned-delete";
+  if (rule == "wallclock" || rule == "raw-random") return rule;
+  return "";
+}
+
+const std::set<std::string>& known_suppression_tokens() {
+  static const std::set<std::string> tokens = {
+      "wallclock", "raw-random",  "owned-callback",
+      "keepalive-cycle", "owned-new", "owned-delete"};
+  return tokens;
+}
+
+// One emitter shared by every rule: applies suppressions and records usage.
+class Emitter {
+ public:
+  Emitter(const std::string& path, const FileScan& scan,
+          std::vector<Finding>& findings)
+      : path_(path), scan_(scan), findings_(findings) {}
+
+  void emit(const std::string& rule, int line, std::string message) {
+    const std::string token = suppression_token(rule);
+    if (!token.empty()) {
+      for (const Suppression& s : scan_.suppressions) {
+        if (s.token == token && (s.line == line || s.line + 1 == line)) {
+          s.used = true;
+          return;
+        }
+      }
+    }
+    findings_.push_back({path_, line, rule, std::move(message)});
+  }
+
+  /// bare-suppression / unused-suppression accounting; call once at the end.
+  void finish() {
+    for (const Suppression& s : scan_.suppressions) {
+      if (!known_suppression_tokens().contains(s.token)) {
+        findings_.push_back({path_, s.line, "unused-suppression",
+                             "unknown suppression token '" + s.token + "'"});
+        continue;
+      }
+      if (!s.used) {
+        findings_.push_back({path_, s.line, "unused-suppression",
+                             "'" + s.token +
+                                 "' suppresses nothing on this or the next "
+                                 "line — remove it"});
+      }
+      if (!s.justified) {
+        findings_.push_back(
+            {path_, s.line, "bare-suppression",
+             "'" + s.token +
+                 "' needs an individual justification after the token"});
+      }
+    }
+  }
+
+ private:
+  const std::string& path_;
+  const FileScan& scan_;
+  std::vector<Finding>& findings_;
+};
+
+// --------------------------------------------------- determinism rules
+
+/// Wall-clock time sources. `time` itself is flagged only when qualified
+/// (`std::time` / `::time`), so `SimTime time` members stay legal.
+const std::set<std::string>& wallclock_idents() {
+  static const std::set<std::string> banned = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "timespec_get",
+      "localtime",     "gmtime",        "mktime",
+      "ftime",         "utc_clock",     "file_clock",
+  };
+  return banned;
+}
+
+const std::set<std::string>& random_idents() {
+  static const std::set<std::string> banned = {
+      "rand",          "srand",          "rand_r",
+      "drand48",       "lrand48",        "mrand48",
+      "random_device", "random_shuffle", "mt19937",
+      "mt19937_64",    "minstd_rand",    "minstd_rand0",
+      "ranlux24",      "ranlux48",       "default_random_engine",
+      "knuth_b",
+  };
+  return banned;
+}
+
+void check_determinism(const std::string& path, const FileScan& scan,
+                       const LintOptions& options, Emitter& emitter) {
+  for (const std::string& allowed : options.determinism_allowlist) {
+    if (path.find(allowed) != std::string::npos) return;
+  }
+  const auto& tokens = scan.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (wallclock_idents().contains(t.text)) {
+      emitter.emit("wallclock", t.line,
+                   "'" + t.text +
+                       "' breaks sim determinism; take time from "
+                       "sim::Simulator::now()");
+    } else if (random_idents().contains(t.text)) {
+      emitter.emit("raw-random", t.line,
+                   "'" + t.text +
+                       "' breaks sim determinism; draw randomness from "
+                       "common::Rng (src/common/random.h)");
+    } else if (t.text == "time" && i > 0 && punct_is(tokens[i - 1], "::") &&
+               i + 1 < tokens.size() && punct_is(tokens[i + 1], "(")) {
+      emitter.emit("wallclock", t.line,
+                   "'::time()' breaks sim determinism; take time from "
+                   "sim::Simulator::now()");
+    }
+  }
+}
+
+// ------------------------------------------------------ lambda parsing
+
+struct CaptureItem {
+  std::string name;                    // capture or init-capture name
+  std::vector<std::string> init_idents;  // identifiers in the initializer
+  bool is_this = false;
+};
+
+struct Lambda {
+  std::size_t intro = 0;   // index of '['
+  std::size_t close = 0;   // index of matching ']'
+  int line = 0;
+  std::vector<CaptureItem> captures;
+  bool captures_this = false;
+  bool has_guard = false;  // alive/weak/self-style liveness capture
+};
+
+bool is_guard_name(const std::string& name) {
+  return name.starts_with("alive") || name.starts_with("weak") ||
+         name.starts_with("self") || name.starts_with("keep");
+}
+
+/// True when `[` at `i` introduces a lambda (expression context before,
+/// callable syntax after).
+bool is_lambda_intro(const std::vector<Token>& tokens, std::size_t i,
+                     std::size_t close) {
+  if (close == std::string::npos || close + 1 >= tokens.size()) return false;
+  if (i > 0) {
+    const Token& prev = tokens[i - 1];
+    const bool expr_context =
+        punct_is(prev, "(") || punct_is(prev, ",") || punct_is(prev, "=") ||
+        punct_is(prev, "{") || punct_is(prev, "}") || punct_is(prev, ";") ||
+        punct_is(prev, ":") || punct_is(prev, "?") || punct_is(prev, "&&") ||
+        punct_is(prev, "||") || punct_is(prev, "!") ||
+        ident_is(prev, "return") || ident_is(prev, "co_return");
+    if (!expr_context) return false;
+  }
+  const Token& next = tokens[close + 1];
+  return punct_is(next, "(") || punct_is(next, "{") ||
+         ident_is(next, "mutable") || ident_is(next, "noexcept") ||
+         punct_is(next, "->") || punct_is(next, "<");
+}
+
+std::vector<Lambda> find_lambdas(const std::vector<Token>& tokens) {
+  std::vector<Lambda> lambdas;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!punct_is(tokens[i], "[")) continue;
+    const std::size_t close = matching_close(tokens, i);
+    if (!is_lambda_intro(tokens, i, close)) continue;
+
+    Lambda lambda;
+    lambda.intro = i;
+    lambda.close = close;
+    lambda.line = tokens[i].line;
+
+    // Split the capture list on top-level commas.
+    std::vector<std::vector<const Token*>> items(1);
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      const Token& t = tokens[j];
+      if (t.kind == TokenKind::kPunct &&
+          (t.text == "(" || t.text == "[" || t.text == "{")) {
+        ++depth;
+      } else if (t.kind == TokenKind::kPunct &&
+                 (t.text == ")" || t.text == "]" || t.text == "}")) {
+        --depth;
+      } else if (depth == 0 && punct_is(t, ",")) {
+        items.emplace_back();
+        continue;
+      }
+      items.back().push_back(&t);
+    }
+
+    for (const auto& item : items) {
+      if (item.empty()) continue;
+      CaptureItem capture;
+      std::size_t k = 0;
+      if (punct_is(*item[0], "&") || punct_is(*item[0], "*")) k = 1;
+      if (k >= item.size()) continue;
+      if (ident_is(*item[k], "this") && item.size() == k + 1) {
+        capture.is_this = true;
+        lambda.captures_this = true;
+      } else if (item[k]->kind == TokenKind::kIdentifier) {
+        capture.name = item[k]->text;
+        for (std::size_t m = k + 1; m < item.size(); ++m) {
+          if (item[m]->kind == TokenKind::kIdentifier) {
+            capture.init_idents.push_back(item[m]->text);
+          }
+        }
+      }
+      const bool guard =
+          is_guard_name(capture.name) ||
+          std::ranges::any_of(capture.init_idents, [](const std::string& id) {
+            return is_guard_name(id) || id == "weak_from_this";
+          });
+      if (guard) lambda.has_guard = true;
+      lambda.captures.push_back(std::move(capture));
+    }
+    lambdas.push_back(std::move(lambda));
+  }
+  return lambdas;
+}
+
+/// Start index of the statement containing token `at`: just after the
+/// nearest `;` `{` or `}` looking backward (bounded window).
+std::size_t statement_start(const std::vector<Token>& tokens, std::size_t at) {
+  const std::size_t floor = at > 100 ? at - 100 : 0;
+  for (std::size_t i = at; i-- > floor;) {
+    if (tokens[i].kind == TokenKind::kPunct &&
+        (tokens[i].text == ";" || tokens[i].text == "{" ||
+         tokens[i].text == "}")) {
+      return i + 1;
+    }
+  }
+  return floor;
+}
+
+// ------------------------------------------------- callback-lifetime
+
+/// Call-like identifiers whose callback arguments outlive the current
+/// stack frame (simulator events, rpc completions, i/o completions,
+/// handler registrations).
+const std::set<std::string>& async_sink_calls() {
+  static const std::set<std::string> sinks = {
+      "schedule",      "schedule_at",     "call",
+      "listen",        "register_method", "set_protocol_handler",
+      "subscribe",     "read",            "write",
+      "pull",          "push",            "pack",
+      "file_size",     "connect",         "publish",
+      "replicate",     "enqueue",         "PeriodicTimer",
+      "checksum",      "remove_remote",   "transfer_to",
+      "replicate_objects", "refresh_index_from",
+  };
+  return sinks;
+}
+
+/// True when the statement window hands its lambda to an async sink:
+/// a sink call, or an assignment into an `on_*` handler slot.
+bool statement_is_async_sink(const std::vector<Token>& tokens,
+                             std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const bool followed_by_call =
+        i + 1 < end && punct_is(tokens[i + 1], "(");
+    const bool followed_by_template_call =
+        i + 1 < end && punct_is(tokens[i + 1], "<");
+    if (async_sink_calls().contains(t.text) &&
+        (followed_by_call || followed_by_template_call)) {
+      return true;
+    }
+    if (t.text.starts_with("on_") && i + 1 < end &&
+        punct_is(tokens[i + 1], "=")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_callback_lifetime(const FileScan& scan,
+                             const std::vector<Lambda>& lambdas,
+                             const std::vector<std::pair<std::size_t, std::size_t>>&
+                                 esft_regions,
+                             Emitter& emitter) {
+  for (const Lambda& lambda : lambdas) {
+    if (!lambda.captures_this || lambda.has_guard) continue;
+    const std::size_t begin = statement_start(scan.tokens, lambda.intro);
+    if (!statement_is_async_sink(scan.tokens, begin, lambda.intro)) continue;
+    const bool esft = std::ranges::any_of(
+        esft_regions, [&](const auto& region) {
+          return lambda.intro >= region.first && lambda.intro < region.second;
+        });
+    std::string message =
+        "lambda captures raw 'this' into an async callback with no "
+        "liveness guard (use-after-free if the owner dies first); ";
+    message += esft
+                   ? "capture 'weak_from_this()' and lock it in the body"
+                   : "capture a 'std::weak_ptr<bool> alive' sentinel and "
+                     "check alive.expired() first";
+    emitter.emit("callback-lifetime", lambda.line, std::move(message));
+  }
+}
+
+// ----------------------------------------------------- shared-cycle
+
+/// True when `name` was most recently bound from a raw pointer (`T* x` /
+/// `auto* x` / `x = y.get()`), which cannot create an ownership cycle.
+bool bound_from_raw_pointer(const std::vector<Token>& tokens,
+                            std::size_t before, const std::string& name) {
+  for (std::size_t i = before; i-- > 0;) {
+    if (tokens[i].kind != TokenKind::kIdentifier || tokens[i].text != name) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || !punct_is(tokens[i + 1], "=")) continue;
+    if (i > 0 && punct_is(tokens[i - 1], "*")) return true;
+    for (std::size_t j = i + 2; j < tokens.size() && j < i + 16; ++j) {
+      if (punct_is(tokens[j], ";")) break;
+      if (ident_is(tokens[j], "get")) return true;
+    }
+    return false;  // nearest binding is a value/shared binding
+  }
+  return false;
+}
+
+void check_shared_cycle(const FileScan& scan,
+                        const std::vector<Lambda>& lambdas, Emitter& emitter) {
+  const auto& tokens = scan.tokens;
+  for (const Lambda& lambda : lambdas) {
+    // Only assignments whose `=` immediately precedes the lambda intro:
+    // `x->slot = [captures...]`.
+    if (lambda.intro == 0 || !punct_is(tokens[lambda.intro - 1], "=")) {
+      continue;
+    }
+    // Walk the member path backwards: IDENT ((-> | .) IDENT)* '='.
+    std::vector<std::string> path;
+    std::size_t i = lambda.intro - 1;
+    while (i >= 2 && tokens[i - 1].kind == TokenKind::kIdentifier &&
+           (punct_is(tokens[i - 2], "->") || punct_is(tokens[i - 2], "."))) {
+      path.insert(path.begin(), tokens[i - 1].text);
+      i -= 2;
+    }
+    if (i >= 1 && tokens[i - 1].kind == TokenKind::kIdentifier) {
+      path.insert(path.begin(), tokens[i - 1].text);
+    }
+    if (path.size() < 2) continue;  // need at least object.member
+    path.pop_back();                // drop the assigned member name
+
+    for (const CaptureItem& capture : lambda.captures) {
+      std::vector<std::string> roots = capture.init_idents;
+      if (!capture.name.empty() && roots.empty()) roots.push_back(capture.name);
+      for (const std::string& root : roots) {
+        if (std::ranges::find(path, root) == path.end()) continue;
+        if (bound_from_raw_pointer(tokens, lambda.intro, root)) continue;
+        emitter.emit(
+            "shared-cycle", lambda.line,
+            "callback stored on '" + root + "' captures '" + root +
+                "' — a shared_ptr ownership cycle; capture a weak_ptr or "
+                "break the cycle explicitly when the callback is released");
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- hygiene
+
+void check_hygiene(const std::string& path, const FileScan& scan,
+                   Emitter& emitter) {
+  const auto& tokens = scan.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "new") {
+      emitter.emit("naked-new", t.line,
+                   "naked 'new'; use std::make_unique/std::make_shared (or "
+                   "justify the ownership with a suppression)");
+    } else if (t.text == "delete") {
+      if (i > 0 && punct_is(tokens[i - 1], "=")) continue;  // = delete
+      emitter.emit("naked-delete", t.line,
+                   "naked 'delete'; ownership must be RAII-managed");
+    } else if (t.text == "using" && i + 1 < tokens.size() &&
+               ident_is(tokens[i + 1], "namespace") && is_header(path)) {
+      emitter.emit("using-namespace-header", t.line,
+                   "'using namespace' in a header leaks into every includer");
+    }
+  }
+  if (is_header(path) && !scan.has_pragma_once) {
+    emitter.emit("missing-pragma-once", 1,
+                 "header is missing '#pragma once'");
+  }
+}
+
+// ------------------------------------------------------ esft regions
+
+/// Token ranges [begin, end) lying inside enable_shared_from_this types:
+/// inline class bodies and out-of-line `Class::member(...)` definitions.
+std::vector<std::pair<std::size_t, std::size_t>> esft_token_regions(
+    const FileScan& scan, const std::vector<std::string>& esft_classes) {
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  const auto& tokens = scan.tokens;
+  const std::set<std::string> esft(esft_classes.begin(), esft_classes.end());
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    // Inline body: class/struct ... enable_shared_from_this ... '{'.
+    if (ident_is(tokens[i], "class") || ident_is(tokens[i], "struct")) {
+      bool has_esft = false;
+      for (std::size_t j = i + 1; j < tokens.size() && j < i + 60; ++j) {
+        if (punct_is(tokens[j], "{")) {
+          if (has_esft) {
+            const std::size_t close = matching_close(tokens, j);
+            if (close != std::string::npos) regions.emplace_back(j, close);
+          }
+          break;
+        }
+        if (punct_is(tokens[j], ";")) break;
+        if (ident_is(tokens[j], "enable_shared_from_this")) has_esft = true;
+      }
+    }
+    // Out-of-line member: EsftClass :: name ( ... ) [...] '{'.
+    if (tokens[i].kind == TokenKind::kIdentifier && esft.contains(tokens[i].text) &&
+        i + 2 < tokens.size() && punct_is(tokens[i + 1], "::") &&
+        tokens[i + 2].kind == TokenKind::kIdentifier) {
+      std::size_t j = i + 3;
+      // Tolerate further nesting (Outer::Inner::member) and destructors.
+      while (j + 1 < tokens.size() &&
+             (punct_is(tokens[j], "::") || punct_is(tokens[j], "~"))) {
+        ++j;
+        if (tokens[j].kind == TokenKind::kIdentifier) ++j;
+      }
+      if (j >= tokens.size() || !punct_is(tokens[j], "(")) continue;
+      const std::size_t params_close = matching_close(tokens, j);
+      if (params_close == std::string::npos) continue;
+      // Scan past qualifiers / member-init lists to the body brace.
+      int paren_depth = 0;
+      for (std::size_t k = params_close + 1;
+           k < tokens.size() && k < params_close + 400; ++k) {
+        if (punct_is(tokens[k], "(")) ++paren_depth;
+        if (punct_is(tokens[k], ")")) --paren_depth;
+        if (paren_depth > 0) continue;
+        if (punct_is(tokens[k], ";")) break;  // a declaration, not a body
+        if (punct_is(tokens[k], "{")) {
+          const std::size_t close = matching_close(tokens, k);
+          if (close != std::string::npos) regions.emplace_back(k, close);
+          break;
+        }
+      }
+    }
+  }
+  return regions;
+}
+
+}  // namespace
+
+std::vector<std::string> collect_esft_classes(const FileScan& scan) {
+  std::vector<std::string> classes;
+  const auto& tokens = scan.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!ident_is(tokens[i], "class") && !ident_is(tokens[i], "struct")) {
+      continue;
+    }
+    // Name: last identifier of the (possibly qualified) declarator.
+    std::string name;
+    std::size_t j = i + 1;
+    while (j < tokens.size() && (tokens[j].kind == TokenKind::kIdentifier ||
+                                 punct_is(tokens[j], "::"))) {
+      if (tokens[j].kind == TokenKind::kIdentifier) {
+        if (tokens[j].text == "final") break;
+        name = tokens[j].text;
+      }
+      ++j;
+    }
+    if (name.empty()) continue;
+    bool has_esft = false;
+    for (; j < tokens.size() && j < i + 60; ++j) {
+      if (punct_is(tokens[j], "{") || punct_is(tokens[j], ";")) break;
+      if (ident_is(tokens[j], "enable_shared_from_this")) has_esft = true;
+    }
+    if (has_esft) classes.push_back(name);
+  }
+  return classes;
+}
+
+void lint_file(const std::string& path, const FileScan& scan,
+               const std::vector<std::string>& esft_classes,
+               const LintOptions& options, std::vector<Finding>& findings) {
+  Emitter emitter(path, scan, findings);
+  check_determinism(path, scan, options, emitter);
+  const std::vector<Lambda> lambdas = find_lambdas(scan.tokens);
+  const auto esft_regions = esft_token_regions(scan, esft_classes);
+  check_callback_lifetime(scan, lambdas, esft_regions, emitter);
+  check_shared_cycle(scan, lambdas, emitter);
+  check_hygiene(path, scan, emitter);
+  emitter.finish();
+}
+
+std::vector<Finding> run_lint(const std::vector<std::string>& files,
+                              const LintOptions& options) {
+  std::vector<Finding> findings;
+  std::vector<std::pair<std::string, FileScan>> scans;
+  std::vector<std::string> esft_classes;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      findings.push_back({path, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    scans.emplace_back(path, scan_source(buffer.str()));
+    for (std::string& name : collect_esft_classes(scans.back().second)) {
+      esft_classes.push_back(std::move(name));
+    }
+  }
+  for (const auto& [path, scan] : scans) {
+    lint_file(path, scan, esft_classes, options, findings);
+  }
+  std::ranges::sort(findings, [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return findings;
+}
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace gdmp::lint
