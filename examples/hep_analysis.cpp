@@ -6,6 +6,7 @@
 // steps use *object replication* because no existing file holds mostly
 // selected objects.
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/string_util.h"
 #include "objrep/selection.h"
@@ -18,6 +19,11 @@ int main() {
 
   GridConfig config = two_site_config("cern", "caltech");
   config.event_count = 50'000;
+  // Deterministic seeding hook: tools/determinism_check runs this example
+  // twice with the same GDMP_SEED and requires byte-identical output.
+  if (const char* seed_env = std::getenv("GDMP_SEED")) {
+    config.seed = std::strtoull(seed_env, nullptr, 10);
+  }
   for (auto& spec : config.sites) {
     spec.site.gdmp.transfer.parallel_streams = 4;
     spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;

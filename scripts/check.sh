@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Full pre-merge check:
 #   1. lint   — gdmp_lint over src/ (project invariants: sim-determinism,
-#               callback lifetime, ownership cycles, hygiene) + clang-tidy
-#               when available (scripts/tidy.sh skips cleanly when not).
+#               callback lifetime, ownership cycles, hygiene, plus the
+#               include-graph pass against the layer DAG in
+#               tools/gdmp_lint/layers.conf) + clang-tidy when available
+#               (scripts/tidy.sh skips cleanly when not).
 #   2. build + test the default, asan and ubsan presets.
 #   3. trace export smoke test (observability example -> Chrome trace_event
 #      JSON -> trace_check validates the replication span chain).
-#   4. determinism check — the observability example must produce
-#      byte-identical metrics and a structurally identical span tree across
-#      two runs with the same seed.
+#   4. determinism check — scheduler (observability) and object-replication
+#      (hep_analysis) workloads must produce byte-identical output across
+#      two same-seed runs, and again with --hash-perturb, where the two
+#      runs get different GDMP_HASH_SEED salts scrambling every unordered
+#      container's iteration order.
 #
 #   scripts/check.sh            # lint + all presets + smoke + determinism
 #   scripts/check.sh default    # just one preset (skips lint/smoke)
@@ -26,7 +30,7 @@ if [ "$smoke" -eq 1 ]; then
   echo "==> lint [gdmp_lint]"
   cmake --preset default >/dev/null
   cmake --build build --target gdmp_lint -j "$(nproc)"
-  ./build/tools/gdmp_lint src/
+  ./build/tools/gdmp_lint --layers tools/gdmp_lint/layers.conf src/
   echo "==> lint [clang-tidy]"
   scripts/tidy.sh
 fi
@@ -49,8 +53,13 @@ if [ "$smoke" -eq 1 ]; then
     rpc.request sched.request sched.queue_wait gdmp.replicate \
     gridftp.transfer gridftp.stream gridftp.crc_check gdmp.catalog_update
 
-  echo "==> determinism check"
+  echo "==> determinism check [scheduler workload]"
   ./build/tools/determinism_check ./build/examples/observability
+  ./build/tools/determinism_check --hash-perturb ./build/examples/observability
+
+  echo "==> determinism check [object replication workload]"
+  ./build/tools/determinism_check ./build/examples/hep_analysis
+  ./build/tools/determinism_check --hash-perturb ./build/examples/hep_analysis
 fi
 
 echo "==> all checks passed: ${presets[*]}"

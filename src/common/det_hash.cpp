@@ -1,0 +1,25 @@
+#include "common/det_hash.h"
+
+#include <cstdlib>
+
+namespace gdmp::common {
+namespace {
+
+constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+std::size_t g_hash_seed = kUnset;
+
+}  // namespace
+
+std::size_t hash_seed() noexcept {
+  if (g_hash_seed == kUnset) {
+    const char* env = std::getenv("GDMP_HASH_SEED");
+    g_hash_seed = env != nullptr
+                      ? static_cast<std::size_t>(std::strtoull(env, nullptr, 10))
+                      : 0;
+  }
+  return g_hash_seed;
+}
+
+void set_hash_seed(std::size_t seed) noexcept { g_hash_seed = seed; }
+
+}  // namespace gdmp::common

@@ -1,0 +1,55 @@
+// Hash-order perturbation shim for the determinism harness.
+//
+// libstdc++'s unordered containers iterate in bucket order, which is a pure
+// function of the hash values — stable across runs, so a hash-order
+// dependence hides until a rehash, a platform change, or a refactor exposes
+// it. Every unordered container in src/ that is *allowed* to be unordered
+// (lookup-only, never iterated into scheduling or output) declares itself
+// through these aliases; GDMP_HASH_SEED then salts the hash, perturbing
+// bucket layout and iteration order on demand. tools/determinism_check
+// --hash-perturb runs a workload under two different seeds and requires
+// byte-identical output: if any remaining container's order leaks into the
+// event schedule or a dump, the diff pinpoints it.
+//
+// Containers whose iteration order *is* observable must use std::map /
+// sorted vectors instead (enforced statically by gdmp_lint's
+// unordered-iteration rule).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gdmp::common {
+
+/// Process-wide hash salt, read once from GDMP_HASH_SEED (default 0 =
+/// identity, i.e. baseline libstdc++ order).
+std::size_t hash_seed() noexcept;
+
+/// Test hook: overrides the seed. Only safe before the first seeded
+/// container is populated — existing containers keep elements in buckets
+/// computed under the old seed.
+void set_hash_seed(std::size_t seed) noexcept;
+
+template <class Key, class Hasher = std::hash<Key>>
+struct SeededHash {
+  std::size_t operator()(const Key& key) const
+      noexcept(noexcept(Hasher{}(key))) {
+    std::size_t h = Hasher{}(key);
+    if (const std::size_t seed = hash_seed(); seed != 0) {
+      h ^= seed + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+    }
+    return h;
+  }
+};
+
+template <class Key, class Value, class Hasher = std::hash<Key>>
+using UnorderedMap = std::unordered_map<Key, Value, SeededHash<Key, Hasher>>;
+
+template <class Key, class Hasher = std::hash<Key>>
+using UnorderedSet = std::unordered_set<Key, SeededHash<Key, Hasher>>;
+
+}  // namespace gdmp::common

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 
-#include "common/types.h"
 
 namespace gdmp {
 

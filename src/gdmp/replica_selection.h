@@ -15,7 +15,6 @@
 
 #include "common/random.h"
 #include "common/uri.h"
-#include "common/types.h"
 
 namespace gdmp::core {
 

@@ -11,9 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
+#include "common/det_hash.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "gridftp/block_stream.h"
@@ -136,8 +137,11 @@ class FtpServer {
   };
   ServerMetrics metrics_;
   obs::TransferChannel* channel_ = nullptr;
-  std::unordered_map<std::uint64_t, ControlState> control_state_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<DataSession>> sessions_;
+  common::UnorderedMap<std::uint64_t, ControlState> control_state_;  // lookup-only
+  // Iterated at teardown to cancel timers and tear down streams (both
+  // scheduling sinks), so the walk order must be deterministic: ordered
+  // by session token.
+  std::map<std::uint64_t, std::shared_ptr<DataSession>> sessions_;
   std::uint64_t next_token_ = 1;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

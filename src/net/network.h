@@ -4,9 +4,9 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/det_hash.h"
 #include "net/node.h"
 #include "sim/simulator.h"
 
@@ -49,7 +49,7 @@ class Network {
  private:
   sim::Simulator& simulator_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<std::string, NodeId> by_name_;
+  common::UnorderedMap<std::string, NodeId> by_name_;  // lookup-only
 };
 
 }  // namespace gdmp::net

@@ -19,9 +19,9 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/det_hash.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "net/node.h"
@@ -288,8 +288,8 @@ class TcpStack {
 
   sim::Simulator& simulator_;
   Node& node_;
-  std::unordered_map<Port, Listener> listeners_;
-  std::unordered_map<ConnKey, TcpConnection::Ptr, ConnKeyHash> connections_;
+  common::UnorderedMap<Port, Listener> listeners_;                        // lookup-only
+  common::UnorderedMap<ConnKey, TcpConnection::Ptr, ConnKeyHash> connections_;  // lookup-only
   Port next_ephemeral_ = 49152;
   StackMetrics metrics_;
   /// Liveness sentinel: the node's protocol handler can fire for packets

@@ -13,7 +13,6 @@
 #include <string>
 #include <vector>
 
-#include "common/result.h"
 #include "objstore/object_file_catalog.h"
 #include "rpc/serialize.h"
 

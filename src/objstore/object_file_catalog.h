@@ -14,9 +14,9 @@
 
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/det_hash.h"
 #include "common/result.h"
 #include "objstore/object_model.h"
 
@@ -77,7 +77,7 @@ class ObjectFileCatalog {
   std::map<std::string, RangeFile> range_files_;
   std::map<std::string, PackedFile> packed_files_;
   // Reverse index for packed files only (range files answer by arithmetic).
-  std::unordered_map<ObjectId, std::vector<std::string>> packed_index_;
+  common::UnorderedMap<ObjectId, std::vector<std::string>> packed_index_;  // lookup-only
   // Range files indexed per tier for interval lookup.
   std::array<std::multimap<std::int64_t, std::string>, 4> tier_ranges_;
 };

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "rpc/serialize.h"
+
 namespace gdmp::rpc {
 
 std::vector<std::uint8_t> encode_frame(const RpcMessage& message) {

@@ -8,11 +8,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
-#include "rpc/serialize.h"
 
 namespace gdmp::rpc {
 

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "common/random.h"
 #include "common/result.h"
@@ -73,7 +73,9 @@ class RpcClient {
   bool authenticated_ = false;
   security::Subject server_subject_;
   std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  // fail_all() walks this invoking completion callbacks (which may
+  // schedule); ordered by request id so the walk order is deterministic.
+  std::map<std::uint64_t, PendingCall> pending_;
   std::deque<RpcMessage> queued_;  // awaiting authentication
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -8,10 +8,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
+#include "common/det_hash.h"
 #include "common/result.h"
 #include "net/tcp.h"
 #include "obs/metrics.h"
@@ -68,8 +69,10 @@ class RpcServer {
   net::Port port_;
   security::GsiAcceptor acceptor_;
   net::TcpConfig tcp_config_;
-  std::unordered_map<std::string, Handler> methods_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  common::UnorderedMap<std::string, Handler> methods_;  // lookup-only
+  // Iterated at teardown to close live connections (a scheduling sink), so
+  // the walk order must be deterministic: ordered by session id.
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   bool listening_ = false;
   std::uint64_t next_session_id_ = 1;
   std::int64_t requests_served_ = 0;

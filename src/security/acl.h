@@ -7,9 +7,9 @@
 
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/det_hash.h"
 #include "common/result.h"
 #include "security/credentials.h"
 
@@ -41,7 +41,7 @@ class GridMap {
   std::size_t size() const noexcept { return entries_.size(); }
 
  private:
-  std::unordered_map<Subject, std::string> entries_;
+  common::UnorderedMap<Subject, std::string> entries_;  // lookup-only
 };
 
 /// Per-operation allow lists with wildcard subject patterns
@@ -54,7 +54,7 @@ class AccessControl {
   Status check(Operation op, const Subject& subject) const;
 
  private:
-  std::unordered_map<int, std::vector<std::string>> rules_;
+  common::UnorderedMap<int, std::vector<std::string>> rules_;  // lookup-only
 };
 
 }  // namespace gdmp::security

@@ -1,11 +1,11 @@
 #include "security/gsi.h"
 
-#include "rpc/serialize.h"
+#include "common/wire.h"
 
 namespace gdmp::security {
 
 std::vector<std::uint8_t> encode_certificate(const Certificate& cert) {
-  rpc::Writer w;
+  wire::Writer w;
   w.str(cert.subject);
   w.str(cert.issuer);
   w.u64(cert.serial);
@@ -16,7 +16,7 @@ std::vector<std::uint8_t> encode_certificate(const Certificate& cert) {
 }
 
 Result<Certificate> decode_certificate(std::span<const std::uint8_t> data) {
-  rpc::Reader r(data);
+  wire::Reader r(data);
   Certificate cert;
   cert.subject = r.str();
   cert.issuer = r.str();
@@ -40,7 +40,7 @@ std::uint64_t handshake_proof(const Certificate& cert,
 
 std::vector<std::uint8_t> GsiInitiator::initiate(Rng& rng) {
   nonce_ = rng.next();
-  rpc::Writer w;
+  wire::Writer w;
   w.bytes(encode_certificate(credential_));
   w.u64(nonce_);
   return w.take();
@@ -48,7 +48,7 @@ std::vector<std::uint8_t> GsiInitiator::initiate(Rng& rng) {
 
 Result<GsiContext> GsiInitiator::complete(
     std::span<const std::uint8_t> token, SimTime now) const {
-  rpc::Reader r(token);
+  wire::Reader r(token);
   const auto cert_bytes = r.bytes();
   const std::uint64_t proof = r.u64();
   if (!r.ok()) {
@@ -69,7 +69,7 @@ Result<GsiContext> GsiInitiator::complete(
 
 Result<GsiAcceptor::Accepted> GsiAcceptor::accept(
     std::span<const std::uint8_t> token, SimTime now) const {
-  rpc::Reader r(token);
+  wire::Reader r(token);
   const auto cert_bytes = r.bytes();
   const std::uint64_t nonce = r.u64();
   if (!r.ok()) {
@@ -81,7 +81,7 @@ Result<GsiAcceptor::Accepted> GsiAcceptor::accept(
   if (const Status status = ca_.verify(*cert, now); !status.is_ok()) {
     return status;
   }
-  rpc::Writer w;
+  wire::Writer w;
   w.bytes(encode_certificate(credential_));
   w.u64(handshake_proof(credential_, nonce));
   Accepted accepted;

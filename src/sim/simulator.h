@@ -11,9 +11,9 @@
 #include <functional>
 #include <memory>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/det_hash.h"
 #include "common/types.h"
 
 namespace gdmp::sim {
@@ -89,8 +89,8 @@ class Simulator {
   bool pop_next(Entry& out);
 
   std::priority_queue<Entry> queue_;
-  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet fired/cancelled
-  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, still in queue_
+  common::UnorderedSet<std::uint64_t> live_;       // scheduled, not yet fired/cancelled
+  common::UnorderedSet<std::uint64_t> cancelled_;  // cancelled, still in queue_
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;

@@ -12,8 +12,8 @@
 #include <list>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 
+#include "common/det_hash.h"
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "storage/disk.h"
@@ -105,7 +105,7 @@ class DiskPool {
   DiskPoolStats stats_;
   // LRU bookkeeping: most recent at the front.
   std::list<std::string> lru_;
-  std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos_;
+  common::UnorderedMap<std::string, std::list<std::string>::iterator> lru_pos_;  // lookup-only
   PoolMetrics metrics_;
 };
 

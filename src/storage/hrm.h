@@ -13,7 +13,6 @@
 #include <memory>
 #include <string>
 
-#include "common/result.h"
 #include "sim/simulator.h"
 #include "storage/mss.h"
 

@@ -1,0 +1,19 @@
+// Fixture: the app-layer consumer. Violations, top to bottom:
+//   - "base/clock.h" is included but Clock is never named: unused-include.
+//   - "mid/policy_internal.h" / "mid/knobs_secret.h" are mid-private
+//     headers (stem suffix and config pattern): private-include.
+//   - "rogue/rogue.h" resolves to a module missing from layers.conf:
+//     unknown-module (its unused-include is keep-include-suppressed to
+//     exercise the suppression path).
+#include "base/clock.h"
+#include "mid/knobs_secret.h"
+#include "mid/policy.h"
+#include "mid/policy_internal.h"
+#include "rogue/rogue.h"  // gdmp-lint: keep-include — kept to pin the unknown-module edge in this fixture
+
+int tool_main() {
+  Policy policy;
+  PolicyImpl impl;
+  Knobs knobs;
+  return policy.priority + impl.refresh_ticks + knobs.window;
+}

@@ -1,0 +1,11 @@
+// Fixture: base is the lowest layer, yet reaches up into mid — an
+// upward-include, and (because mid/policy.h includes us back) one half of
+// a module cycle.
+#pragma once
+
+#include "mid/policy.h"
+
+struct Clock {
+  Policy policy;
+  long long now = 0;
+};

@@ -1,0 +1,7 @@
+// Fixture: private via the `private _secret` pattern in layers.conf
+// rather than the built-in `_internal`/`_detail` stems.
+#pragma once
+
+struct Knobs {
+  int window = 8;
+};

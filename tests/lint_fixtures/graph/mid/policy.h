@@ -1,0 +1,11 @@
+// Fixture: the downward half of the base <-> mid cycle (legal direction,
+// but the cycle itself is reported).
+#pragma once
+
+#include "base/clock.h"
+
+struct Policy {
+  int priority = 0;
+};
+
+inline long long deadline(const Clock& clock) { return clock.now + 1; }

@@ -1,0 +1,7 @@
+// Fixture: `_internal` marks this header .cpp-private to the mid module;
+// including it from app is a private-include finding.
+#pragma once
+
+struct PolicyImpl {
+  int refresh_ticks = 0;
+};

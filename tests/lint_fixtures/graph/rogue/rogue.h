@@ -1,0 +1,7 @@
+// Fixture: the `rogue` module is absent from layers.conf, so any edge
+// touching it is an unknown-module finding.
+#pragma once
+
+struct Rogue {
+  int id = 0;
+};

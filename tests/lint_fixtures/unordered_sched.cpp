@@ -1,0 +1,40 @@
+// Fixture: flow-aware determinism rules.
+//
+// `drain` iterates an unordered container and transitively reaches a
+// scheduling sink (drain -> kick -> schedule), so its loop order imprints
+// on the event schedule. `average` never schedules, but accumulates a
+// double in hash order, which is order-sensitive on its own. `close_all`
+// shows the order-insensitive suppression silencing the iteration rule.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct ReplicaPump {
+  std::unordered_map<std::string, int> pending_;
+  std::unordered_set<std::string> peers_;
+  double mean_cost_ = 0;
+
+  void kick() { schedule(next_deadline()); }
+
+  void drain() {
+    for (const auto& [lfn, priority] : pending_) {
+      stage(lfn, priority);
+    }
+    kick();
+  }
+
+  double average() {
+    for (const auto& peer : peers_) {
+      mean_cost_ += cost_of(peer);
+    }
+    return mean_cost_;
+  }
+
+  void close_all() {
+    // gdmp-lint: order-insensitive — identical teardown signal for all; no downstream order observer
+    for (const auto& [lfn, priority] : pending_) {
+      touch(lfn);
+    }
+    notify_done();
+  }
+};

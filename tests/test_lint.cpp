@@ -73,10 +73,112 @@ TEST(Lint, EveryRuleIsExercised) {
   for (const char* rule :
        {"wallclock", "raw-random", "callback-lifetime", "shared-cycle",
         "naked-new", "naked-delete", "using-namespace-header",
-        "missing-pragma-once", "bare-suppression", "unused-suppression"}) {
+        "missing-pragma-once", "bare-suppression", "unused-suppression",
+        "unordered-iteration", "unordered-float-accum"}) {
     EXPECT_TRUE(std::find(rules.begin(), rules.end(), rule) != rules.end())
         << "no fixture exercises rule: " << rule;
   }
+}
+
+// --------------------------------------------------- include-graph pass
+//
+// The graph/ subtree is a miniature three-layer architecture (layers.conf:
+// base < mid < app, plus a `private _secret` pattern) whose sources violate
+// every graph rule on purpose. It lives in a subdirectory so the flat
+// golden test above never sees it.
+
+std::vector<std::string> graph_fixture_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(kFixtureDir / "graph")) {
+    if (entry.path().extension() == ".h" || entry.path().extension() == ".cpp") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+LintOptions graph_options() {
+  LintOptions options;
+  std::string error;
+  const auto conf = (kFixtureDir / "graph" / "layers.conf").string();
+  EXPECT_TRUE(load_layer_config(conf, options.layers, error)) << error;
+  return options;
+}
+
+TEST(LintGraph, EveryGraphRuleIsExercised) {
+  const auto findings = run_lint(graph_fixture_files(), graph_options());
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  for (const char* rule : {"upward-include", "include-cycle",
+                           "private-include", "unknown-module",
+                           "unused-include"}) {
+    EXPECT_TRUE(std::find(rules.begin(), rules.end(), rule) != rules.end())
+        << "no graph fixture exercises rule: " << rule;
+  }
+}
+
+TEST(LintGraph, UpwardEdgeNamesTheViolatingInclude) {
+  const auto findings = run_lint(graph_fixture_files(), graph_options());
+  for (const Finding& f : findings) {
+    if (f.rule != "upward-include") continue;
+    EXPECT_TRUE(f.file.ends_with("base/clock.h")) << f.file;
+    EXPECT_NE(f.message.find("mid"), std::string::npos) << f.message;
+    return;
+  }
+  FAIL() << "no upward-include finding";
+}
+
+TEST(LintGraph, CycleReportsBaseMidScc) {
+  const auto findings = run_lint(graph_fixture_files(), graph_options());
+  for (const Finding& f : findings) {
+    if (f.rule != "include-cycle") continue;
+    EXPECT_NE(f.message.find("base"), std::string::npos) << f.message;
+    EXPECT_NE(f.message.find("mid"), std::string::npos) << f.message;
+    return;
+  }
+  FAIL() << "no include-cycle finding";
+}
+
+TEST(LintGraph, PrivateHeaderFlaggedByStemAndByConfigPattern) {
+  const auto findings = run_lint(graph_fixture_files(), graph_options());
+  bool by_stem = false, by_pattern = false;
+  for (const Finding& f : findings) {
+    if (f.rule != "private-include") continue;
+    if (f.message.find("policy_internal.h") != std::string::npos)
+      by_stem = true;
+    if (f.message.find("knobs_secret.h") != std::string::npos)
+      by_pattern = true;
+  }
+  EXPECT_TRUE(by_stem) << "built-in _internal stem not flagged";
+  EXPECT_TRUE(by_pattern) << "layers.conf `private` pattern not flagged";
+}
+
+TEST(LintGraph, KeepIncludeSuppressesOnlyTheAnnotatedInclude) {
+  // tool.cpp has two never-used includes; the rogue one carries a justified
+  // keep-include, so exactly the clock.h one must be reported.
+  const auto findings = run_lint(graph_fixture_files(), graph_options());
+  std::vector<std::string> unused;
+  for (const Finding& f : findings) {
+    if (f.rule == "unused-include") unused.push_back(f.message);
+  }
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_NE(unused[0].find("base/clock.h"), std::string::npos) << unused[0];
+}
+
+TEST(LintGraph, GraphExtractionAndDotExport) {
+  const LintOptions options = graph_options();
+  IncludeGraph graph;
+  std::vector<Finding> ignored = run_lint(graph_fixture_files(), options, &graph);
+  const std::vector<std::string> want_modules = {"app", "base", "mid",
+                                                 "rogue"};
+  EXPECT_EQ(graph.modules, want_modules);
+  EXPECT_GT(graph.file_edge_count, 0);
+
+  const std::string dot = graph_to_dot(graph, options.layers);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"base\" -> \"mid\""), std::string::npos) << dot;
 }
 
 TEST(Lint, UnreadablePathReportsIoError) {

@@ -1,0 +1,99 @@
+// gdmp_lint CLI contract: exit codes and output formats, exercised against
+// the real binary (path injected by CMake as GDMP_LINT_BINARY).
+//
+//   exit 0  no findings
+//   exit 1  findings reported
+//   exit 2  usage error or unreadable input
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CliResult run_cli(const std::string& args, bool merge_stderr = true) {
+  // stderr is unbuffered and would interleave ahead of the binary's
+  // buffered stdout, so format-sensitive tests capture stdout alone.
+  const std::string command = std::string(GDMP_LINT_BINARY) + " " + args +
+                              (merge_stderr ? " 2>&1" : " 2>/dev/null");
+  CliResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+    result.output.append(buffer, got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(GDMP_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(LintCli, CleanFileExitsZero) {
+  const CliResult r = run_cli(fixture("clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, FindingsExitOne) {
+  const CliResult r = run_cli(fixture("hygiene.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[naked-new]"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, UnknownFlagExitsTwo) {
+  EXPECT_EQ(run_cli("--bogus").exit_code, 2);
+}
+
+TEST(LintCli, MissingLayersArgumentExitsTwo) {
+  EXPECT_EQ(run_cli("--layers").exit_code, 2);
+}
+
+TEST(LintCli, UnreadableInputExitsTwo) {
+  const CliResult r = run_cli(fixture("does_not_exist.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("no such file"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, JsonFormatEmitsFindingsArray) {
+  const CliResult r = run_cli("--format json " + fixture("hygiene.cpp"),
+                              /*merge_stderr=*/false);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  ASSERT_FALSE(r.output.empty());
+  EXPECT_EQ(r.output.front(), '[') << r.output;
+  EXPECT_NE(r.output.find("\"rule\": \"naked-new\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"line\": "), std::string::npos) << r.output;
+}
+
+TEST(LintCli, JsonFormatOnCleanInputIsEmptyArray) {
+  const CliResult r = run_cli("--format json " + fixture("clean.cpp"),
+                              /*merge_stderr=*/false);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.rfind("[]", 0), 0u) << r.output;
+}
+
+TEST(LintCli, GraphDotExportsLayeredDigraph) {
+  const std::string dir = fixture("graph");
+  const CliResult r =
+      run_cli("--graph dot --layers " + dir + "/layers.conf " + dir);
+  // Findings (the fixture violates the DAG on purpose) go to stderr and
+  // still yield exit 1; the DOT graph itself lands on stdout.
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("digraph"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"base\" -> \"mid\""), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

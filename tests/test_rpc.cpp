@@ -4,6 +4,7 @@
 #include "net/topology.h"
 #include "rpc/message.h"
 #include "rpc/rpc_client.h"
+#include "rpc/serialize.h"
 #include "rpc/rpc_server.h"
 
 namespace gdmp::rpc {
@@ -200,6 +201,27 @@ TEST(Rpc, PipelinedCallsAllComplete) {
   }
   f.simulator.run_until(60 * kSecond);
   EXPECT_EQ(completed, 20);
+}
+
+TEST(Rpc, CloseFailsPendingCallsInRequestIdOrder) {
+  // Regression: pending_ was an unordered_map, so the order in which
+  // fail_all() delivered failure callbacks depended on hash order. It is a
+  // std::map now; close() must complete calls in ascending request id.
+  RpcFixture f;
+  RpcClient client(*f.stack_a, f.path.host_b->id(), 7000, f.ca,
+                   f.cert("client"));
+  std::vector<int> completed;
+  for (int i = 0; i < 32; ++i) {
+    client.call("noop", {},
+                [&completed, i](Status s, std::vector<std::uint8_t>) {
+                  EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+                  completed.push_back(i);
+                });
+  }
+  client.close();
+  std::vector<int> want(32);
+  for (int i = 0; i < 32; ++i) want[i] = i;
+  EXPECT_EQ(completed, want);
 }
 
 TEST(Rpc, ServerDownYieldsUnavailable) {

@@ -1,6 +1,7 @@
 // determinism_check: proves the sim-determinism invariant dynamically.
 //
 //   $ ./tools/determinism_check ./examples/observability [--seed N]
+//                                                        [--hash-perturb]
 //
 // Runs the given workload binary twice with the same seed (GDMP_SEED) and a
 // per-run GDMP_TRACE_FILE, then requires:
@@ -8,10 +9,16 @@
 //      counter/gauge/histogram must match to the byte;
 //   2. an identical trace span tree — spans compared structurally
 //      (name, sim-time start, duration, children in order), so the whole
-//      event interleaving must replay exactly.
-// This is the dynamic counterpart of gdmp_lint's wallclock/raw-random
-// rules: statically nothing nondeterministic is reachable, and this check
-// demonstrates it end to end. Exit 0 on a perfect replay, 1 otherwise.
+//      event interleaving must replay exactly. Workloads that do not export
+//      a trace are compared on stdout alone.
+// With --hash-perturb the two runs additionally get *different*
+// GDMP_HASH_SEED values, which salt the hash of every common::UnorderedMap/
+// UnorderedSet (common/det_hash.h) and so scramble unordered-container
+// iteration order between the runs. Byte-identical output then proves no
+// remaining unordered container leaks its order into the event schedule or
+// any dump — the dynamic counterpart of gdmp_lint's unordered-iteration
+// rule, just as the plain mode is the counterpart of its wallclock/
+// raw-random rules. Exit 0 on a perfect replay, 1 otherwise.
 #include <unistd.h>
 
 #include <algorithm>
@@ -31,11 +38,14 @@ namespace {
 
 using gdmp::obs::JsonValue;
 
-/// Runs `binary` with GDMP_SEED/GDMP_TRACE_FILE set, capturing stdout.
+/// Runs `binary` with GDMP_SEED/GDMP_HASH_SEED/GDMP_TRACE_FILE set,
+/// capturing stdout.
 bool run_workload(const std::string& binary, const std::string& seed,
-                  const std::string& trace_file, std::string& stdout_text) {
-  const std::string command = "GDMP_SEED='" + seed + "' GDMP_TRACE_FILE='" +
-                              trace_file + "' '" + binary + "' 2>/dev/null";
+                  const std::string& hash_seed, const std::string& trace_file,
+                  std::string& stdout_text) {
+  const std::string command = "GDMP_SEED='" + seed + "' GDMP_HASH_SEED='" +
+                              hash_seed + "' GDMP_TRACE_FILE='" + trace_file +
+                              "' '" + binary + "' 2>/dev/null";
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return false;
   char buffer[4096];
@@ -155,35 +165,50 @@ void print_first_diff(const std::string& a, const std::string& b,
   }
 }
 
+/// True if `path` exists (the workload honoured GDMP_TRACE_FILE).
+bool file_exists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string binary;
   std::string seed = "42";
+  bool hash_perturb = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
       seed = argv[++i];
+    } else if (arg == "--hash-perturb") {
+      hash_perturb = true;
     } else if (binary.empty()) {
       binary = arg;
     }
   }
   if (binary.empty()) {
     std::fprintf(stderr,
-                 "usage: determinism_check <workload-binary> [--seed N]\n");
+                 "usage: determinism_check <workload-binary> [--seed N] "
+                 "[--hash-perturb]\n");
     return 2;
   }
+
+  // In perturb mode the two runs see different hash salts, so every
+  // common::UnorderedMap/UnorderedSet iterates in a different order; any
+  // order leak into scheduling or output breaks the byte-compare below.
+  const std::string hash1 = hash_perturb ? "1" : "0";
+  const std::string hash2 = hash_perturb ? "2654435769" : "0";
 
   const std::string tag = std::to_string(static_cast<long>(getpid()));
   const std::string trace1 = "/tmp/gdmp-det-" + tag + "-1.json";
   const std::string trace2 = "/tmp/gdmp-det-" + tag + "-2.json";
 
   std::string out1, out2;
-  if (!run_workload(binary, seed, trace1, out1)) {
+  if (!run_workload(binary, seed, hash1, trace1, out1)) {
     std::fprintf(stderr, "determinism_check: run 1 failed\n");
     return 1;
   }
-  if (!run_workload(binary, seed, trace2, out2)) {
+  if (!run_workload(binary, seed, hash2, trace2, out2)) {
     std::fprintf(stderr, "determinism_check: run 2 failed\n");
     return 1;
   }
@@ -196,26 +221,37 @@ int main(int argc, char** argv) {
     ++failures;
   }
   std::string tree1, tree2, error;
-  if (!canonical_span_tree(trace1, tree1, error) ||
-      !canonical_span_tree(trace2, tree2, error)) {
-    std::fprintf(stderr, "determinism_check: %s\n", error.c_str());
-    ++failures;
-  } else if (tree1 != tree2) {
-    print_first_diff(tree1, tree2, "trace span tree");
-    ++failures;
-  } else if (tree1.empty()) {
-    std::fprintf(stderr, "determinism_check: trace contains no spans\n");
-    ++failures;
+  const bool traced = file_exists(trace1) || file_exists(trace2);
+  if (traced) {
+    if (!canonical_span_tree(trace1, tree1, error) ||
+        !canonical_span_tree(trace2, tree2, error)) {
+      std::fprintf(stderr, "determinism_check: %s\n", error.c_str());
+      ++failures;
+    } else if (tree1 != tree2) {
+      print_first_diff(tree1, tree2, "trace span tree");
+      ++failures;
+    } else if (tree1.empty()) {
+      std::fprintf(stderr, "determinism_check: trace contains no spans\n");
+      ++failures;
+    }
+    std::remove(trace1.c_str());
+    std::remove(trace2.c_str());
   }
-  std::remove(trace1.c_str());
-  std::remove(trace2.c_str());
 
   if (failures != 0) return 1;
-  std::size_t spans = static_cast<std::size_t>(
-      std::count(tree1.begin(), tree1.end(), '\n'));
-  std::printf(
-      "determinism_check: ok — identical stdout (%zu bytes) and span tree "
-      "(%zu spans) across two seed=%s runs\n",
-      out1.size(), spans, seed.c_str());
+  const char* mode = hash_perturb ? " with perturbed hash order" : "";
+  if (traced) {
+    std::size_t spans = static_cast<std::size_t>(
+        std::count(tree1.begin(), tree1.end(), '\n'));
+    std::printf(
+        "determinism_check: ok — identical stdout (%zu bytes) and span tree "
+        "(%zu spans) across two seed=%s runs%s\n",
+        out1.size(), spans, seed.c_str(), mode);
+  } else {
+    std::printf(
+        "determinism_check: ok — identical stdout (%zu bytes) across two "
+        "seed=%s runs%s (workload exports no trace)\n",
+        out1.size(), seed.c_str(), mode);
+  }
   return 0;
 }

@@ -1,0 +1,20 @@
+# ctest -L arch: regenerate the module graph from the current sources and
+# diff it against the checked-in snapshot (tools/gdmp_lint/layers.dot). A
+# mismatch means the architecture drawing is stale — refresh it with:
+#   ./build/tools/gdmp_lint --graph dot \
+#       --layers tools/gdmp_lint/layers.conf src/ > tools/gdmp_lint/layers.dot
+execute_process(
+  COMMAND ${LINT_BIN} --graph dot
+          --layers ${SOURCE_DIR}/tools/gdmp_lint/layers.conf
+          ${SOURCE_DIR}/src
+  OUTPUT_VARIABLE current_dot
+  RESULT_VARIABLE lint_status)
+if(NOT lint_status EQUAL 0)
+  message(FATAL_ERROR "gdmp_lint --graph dot failed (exit ${lint_status}); "
+                      "src/ has architecture findings")
+endif()
+file(READ ${SOURCE_DIR}/tools/gdmp_lint/layers.dot snapshot_dot)
+if(NOT current_dot STREQUAL snapshot_dot)
+  message(FATAL_ERROR "tools/gdmp_lint/layers.dot is stale — regenerate it "
+                      "with gdmp_lint --graph dot (see this script's header)")
+endif()

@@ -1,0 +1,351 @@
+// Whole-program include-graph pass: extracts the module-level dependency
+// graph from every scanned file's #include directives and checks it against
+// the declared architecture (layers.conf).
+//
+// Modules are directory names: a file at `.../<module>/<name>` belongs to
+// <module>, and a quoted include `"<module>/<name>"` resolving to a scanned
+// file is a dependency edge. Four architectural checks (unsuppressible) and
+// one hygiene check (suppressible with keep-include):
+//
+//   upward-include   edge into a strictly higher layer of the declared DAG
+//   include-cycle    module-level SCC of size > 1
+//   private-include  another module's .cpp-private header
+//   unknown-module   module absent from layers.conf
+//   unused-include   include whose header declares nothing the includer
+//                    names (or a duplicate include)
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "lint.h"
+
+namespace gdmp::lint {
+namespace {
+
+/// Keywords and ubiquitous identifiers excluded from the exported-name and
+/// usage sets so they never count as evidence that an include is used.
+const std::set<std::string>& name_stoplist() {
+  static const std::set<std::string> stop = {
+      "auto",     "bool",     "char",     "class",   "const",    "constexpr",
+      "double",   "else",     "enum",     "explicit","false",    "float",
+      "for",      "friend",   "if",       "inline",  "int",      "long",
+      "namespace","noexcept", "nullptr",  "operator","private",  "protected",
+      "public",   "return",   "short",    "signed",  "sizeof",   "static",
+      "struct",   "switch",   "template", "this",    "true",     "typedef",
+      "typename", "union",    "unsigned", "using",   "virtual",  "void",
+      "while",    "std",      "size_t",   "uint8_t", "uint16_t", "uint32_t",
+      "uint64_t", "int8_t",   "int16_t",  "int32_t", "int64_t",  "gdmp",
+  };
+  return stop;
+}
+
+bool punct_is(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Names an includer could plausibly reference from this header: type and
+/// alias names, plus identifiers in call/assignment position (deliberately
+/// over-approximated — an unused-include finding requires that *none* of
+/// these appear in the including file).
+std::set<std::string> exported_names(const FileScan& scan) {
+  std::set<std::string> names;
+  const auto& tokens = scan.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum") {
+      std::size_t j = i + 1;
+      if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier &&
+          tokens[j].text == "class") {
+        ++j;  // enum class
+      }
+      if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+        names.insert(tokens[j].text);
+      }
+      continue;
+    }
+    if (t.text == "using" && i + 2 < tokens.size() &&
+        tokens[i + 1].kind == TokenKind::kIdentifier &&
+        punct_is(tokens[i + 2], "=")) {
+      names.insert(tokens[i + 1].text);
+      continue;
+    }
+    if (name_stoplist().contains(t.text)) continue;
+    // Call / template-call / assignment / declaration-terminator position.
+    if (i + 1 < tokens.size() &&
+        (punct_is(tokens[i + 1], "(") || punct_is(tokens[i + 1], "=") ||
+         punct_is(tokens[i + 1], "<"))) {
+      names.insert(t.text);
+    }
+  }
+  return names;
+}
+
+/// Identifier set of a file, for the usage side of unused-include.
+std::set<std::string> used_names(const FileScan& scan) {
+  std::set<std::string> names;
+  for (const Token& t : scan.tokens) {
+    if (t.kind == TokenKind::kIdentifier && !name_stoplist().contains(t.text)) {
+      names.insert(t.text);
+    }
+  }
+  return names;
+}
+
+struct ScannedFile {
+  const std::string* path = nullptr;
+  const FileScan* scan = nullptr;
+  std::string rel;     // "<module>/<name>", the include-style path
+  std::string module;  // parent directory name
+  std::string stem;    // file name without extension
+};
+
+std::string path_component(const std::string& path, int from_end) {
+  std::size_t end = path.size();
+  for (int hop = 0; hop < from_end; ++hop) {
+    const std::size_t slash = path.rfind('/', end == 0 ? 0 : end - 1);
+    if (slash == std::string::npos) return hop + 1 == from_end
+                                               ? path.substr(0, end)
+                                               : std::string();
+    if (hop + 1 == from_end) return path.substr(slash + 1, end - slash - 1);
+    end = slash;
+  }
+  return {};
+}
+
+bool header_is_private(const std::string& rel, const LayerConfig& layers) {
+  const std::string stem_ext = path_component(rel, 1);
+  const std::size_t dot = stem_ext.rfind('.');
+  const std::string stem =
+      dot == std::string::npos ? stem_ext : stem_ext.substr(0, dot);
+  if (stem.ends_with("_internal") || stem.ends_with("_detail")) return true;
+  if (rel.find("/detail/") != std::string::npos) return true;
+  for (const std::string& pattern : layers.private_patterns) {
+    if (rel.find(pattern) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Marks a keep-include suppression covering `line` used; true if found.
+bool suppressed_keep_include(const FileScan& scan, int line) {
+  for (const Suppression& s : scan.suppressions) {
+    if (s.token == "keep-include" && (s.line == line || s.line + 1 == line)) {
+      s.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Tarjan strongly-connected components over the module graph; returns
+/// components of size > 1 with modules sorted, components ordered by their
+/// smallest module.
+std::vector<std::vector<std::string>> module_cycles(
+    const std::map<std::string, std::set<std::string>>& adjacency) {
+  struct State {
+    int index = -1;
+    int lowlink = 0;
+    bool on_stack = false;
+  };
+  std::map<std::string, State> states;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> cycles;
+  int counter = 0;
+
+  auto strongconnect = [&](auto&& self, const std::string& v) -> void {
+    State& sv = states[v];
+    sv.index = sv.lowlink = counter++;
+    sv.on_stack = true;
+    stack.push_back(v);
+    if (const auto it = adjacency.find(v); it != adjacency.end()) {
+      for (const std::string& w : it->second) {
+        State& sw = states[w];
+        if (sw.index < 0) {
+          self(self, w);
+          sv.lowlink = std::min(sv.lowlink, states[w].lowlink);
+        } else if (sw.on_stack) {
+          sv.lowlink = std::min(sv.lowlink, sw.index);
+        }
+      }
+    }
+    if (sv.lowlink == sv.index) {
+      std::vector<std::string> component;
+      while (true) {
+        const std::string w = stack.back();
+        stack.pop_back();
+        states[w].on_stack = false;
+        component.push_back(w);
+        if (w == v) break;
+      }
+      if (component.size() > 1) {
+        std::sort(component.begin(), component.end());
+        cycles.push_back(std::move(component));
+      }
+    }
+  };
+  for (const auto& [v, targets] : adjacency) {
+    if (states[v].index < 0) strongconnect(strongconnect, v);
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+}  // namespace
+
+void lint_include_graph(
+    const std::vector<std::pair<std::string, FileScan>>& scans,
+    const LintOptions& options, std::vector<Finding>& findings,
+    IncludeGraph* graph_out) {
+  // Index files by their include-style path (module/name), in sorted path
+  // order so representative edges are deterministic.
+  std::vector<ScannedFile> files;
+  files.reserve(scans.size());
+  for (const auto& [path, scan] : scans) {
+    ScannedFile f;
+    f.path = &path;
+    f.scan = &scan;
+    const std::string name = path_component(path, 1);
+    const std::string dir = path_component(path, 2);
+    f.rel = dir.empty() ? name : dir + "/" + name;
+    f.module = dir.empty() ? name : dir;
+    const std::size_t dot = name.rfind('.');
+    f.stem = dot == std::string::npos ? name : name.substr(0, dot);
+    files.push_back(std::move(f));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const ScannedFile& a, const ScannedFile& b) {
+              return *a.path < *b.path;
+            });
+  std::map<std::string, const ScannedFile*> by_rel;
+  for (const ScannedFile& f : files) by_rel.emplace(f.rel, &f);
+
+  std::map<std::string, std::set<std::string>> adjacency;
+  std::map<std::pair<std::string, std::string>, IncludeGraph::Edge> edges;
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, int>>
+      edge_sites;  // representative file:line per module edge
+  std::set<std::string> modules;
+  int file_edge_count = 0;
+
+  // Exported-name cache, computed lazily per included header.
+  std::map<const FileScan*, std::set<std::string>> exports_cache;
+  const auto exports_of = [&](const FileScan* scan) -> const std::set<std::string>& {
+    auto it = exports_cache.find(scan);
+    if (it == exports_cache.end()) {
+      it = exports_cache.emplace(scan, exported_names(*scan)).first;
+    }
+    return it->second;
+  };
+
+  for (const ScannedFile& file : files) {
+    modules.insert(file.module);
+    std::set<std::string> seen_paths;
+    std::set<std::string> user_names;  // lazily filled
+    bool user_names_ready = false;
+    for (const IncludeDirective& inc : file.scan->includes) {
+      if (inc.angled) continue;  // system headers are outside the graph
+      if (!seen_paths.insert(inc.path).second) {
+        if (!suppressed_keep_include(*file.scan, inc.line)) {
+          findings.push_back({*file.path, inc.line, "unused-include",
+                              "duplicate include of '" + inc.path + "'"});
+        }
+        continue;
+      }
+      const auto target_it = by_rel.find(inc.path);
+      if (target_it == by_rel.end()) continue;  // outside the scanned set
+      const ScannedFile& target = *target_it->second;
+      ++file_edge_count;
+
+      if (target.module != file.module) {
+        adjacency[file.module].insert(target.module);
+        const auto key = std::make_pair(file.module, target.module);
+        auto [it, inserted] = edges.try_emplace(
+            key, IncludeGraph::Edge{file.module, target.module, *file.path,
+                                    inc.line, 0});
+        ++it->second.count;
+
+        if (header_is_private(target.rel, options.layers)) {
+          findings.push_back(
+              {*file.path, inc.line, "private-include",
+               "'" + inc.path + "' is private to module '" + target.module +
+                   "' — include its public header or move the declaration"});
+        }
+        if (!options.layers.empty()) {
+          const int from_rank = options.layers.rank_of(file.module);
+          const int to_rank = options.layers.rank_of(target.module);
+          if (from_rank >= 0 && to_rank >= 0 && to_rank > from_rank) {
+            findings.push_back(
+                {*file.path, inc.line, "upward-include",
+                 "module '" + file.module + "' (layer " +
+                     std::to_string(from_rank) + ") must not include '" +
+                     inc.path + "' from higher layer '" + target.module +
+                     "' (layer " + std::to_string(to_rank) +
+                     ") — invert the dependency"});
+          }
+        }
+      }
+
+      // unused-include: the header exports nothing this file names. A
+      // .cpp's own header is definitionally used.
+      if (target.module == file.module && target.stem == file.stem) continue;
+      if (!user_names_ready) {
+        user_names = used_names(*file.scan);
+        user_names_ready = true;
+      }
+      const std::set<std::string>& exports = exports_of(target.scan);
+      const bool used = std::ranges::any_of(
+          exports,
+          [&](const std::string& name) { return user_names.contains(name); });
+      if (!used && !suppressed_keep_include(*file.scan, inc.line)) {
+        findings.push_back(
+            {*file.path, inc.line, "unused-include",
+             "nothing declared in '" + inc.path +
+                 "' is referenced here — remove the include (or annotate "
+                 "keep-include if it is needed for side effects)"});
+      }
+    }
+  }
+
+  if (!options.layers.empty()) {
+    std::set<std::string> reported;
+    for (const ScannedFile& file : files) {
+      if (options.layers.rank_of(file.module) < 0 &&
+          reported.insert(file.module).second) {
+        findings.push_back(
+            {*file.path, 0, "unknown-module",
+             "module '" + file.module +
+                 "' is not declared in layers.conf — add it to a layer"});
+      }
+    }
+  }
+
+  for (const auto& cycle : module_cycles(adjacency)) {
+    std::string names, sites;
+    for (const std::string& module : cycle) {
+      names += (names.empty() ? "" : ", ") + module;
+      for (const std::string& to : adjacency[module]) {
+        if (std::ranges::find(cycle, to) == cycle.end()) continue;
+        const auto edge = edges.find({module, to});
+        if (edge == edges.end()) continue;
+        sites += "; " + module + " -> " + to + " via " + edge->second.file +
+                 ":" + std::to_string(edge->second.line);
+      }
+    }
+    const auto first_edge = edges.find({cycle[0], cycle[1]});
+    const auto any_edge =
+        first_edge != edges.end() ? first_edge : edges.find({cycle[1], cycle[0]});
+    findings.push_back(
+        {any_edge != edges.end() ? any_edge->second.file : names,
+         any_edge != edges.end() ? any_edge->second.line : 0, "include-cycle",
+         "modules {" + names + "} form a dependency cycle" + sites});
+  }
+
+  if (graph_out != nullptr) {
+    graph_out->modules.assign(modules.begin(), modules.end());
+    graph_out->edges.clear();
+    for (const auto& [key, edge] : edges) graph_out->edges.push_back(edge);
+    graph_out->file_edge_count = file_edge_count;
+  }
+}
+
+}  // namespace gdmp::lint

@@ -1,0 +1,105 @@
+// layers.conf parsing and DOT rendering for the include-graph pass.
+//
+// The config declares the architecture as an ordered list of layers, lowest
+// (most foundational) first. An include edge is legal when it points to the
+// same or a lower layer; the separate cycle check (graph.cpp) keeps lateral
+// edges honest.
+#include <fstream>
+#include <sstream>
+
+#include "lint.h"
+
+namespace gdmp::lint {
+
+int LayerConfig::rank_of(const std::string& module) const {
+  const auto it = ranks.find(module);
+  return it == ranks.end() ? -1 : it->second;
+}
+
+bool load_layer_config(const std::string& path, LayerConfig& config,
+                       std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot read layer config: " + path;
+    return false;
+  }
+  config = {};
+  int line_no = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream words(line);
+    std::string keyword;
+    if (!(words >> keyword)) continue;  // blank / comment-only line
+    if (keyword == "layer") {
+      std::vector<std::string> modules;
+      for (std::string module; words >> module;) {
+        if (config.ranks.contains(module)) {
+          error = path + ":" + std::to_string(line_no) + ": module '" +
+                  module + "' declared twice";
+          return false;
+        }
+        config.ranks.emplace(module, static_cast<int>(config.layers.size()));
+        modules.push_back(std::move(module));
+      }
+      if (modules.empty()) {
+        error = path + ":" + std::to_string(line_no) + ": empty layer";
+        return false;
+      }
+      config.layers.push_back(std::move(modules));
+    } else if (keyword == "private") {
+      std::string pattern;
+      if (!(words >> pattern)) {
+        error = path + ":" + std::to_string(line_no) +
+                ": 'private' needs a path substring";
+        return false;
+      }
+      config.private_patterns.push_back(std::move(pattern));
+    } else {
+      error = path + ":" + std::to_string(line_no) +
+              ": unknown directive '" + keyword + "'";
+      return false;
+    }
+  }
+  if (config.layers.empty()) {
+    error = path + ": no 'layer' lines";
+    return false;
+  }
+  return true;
+}
+
+std::string graph_to_dot(const IncludeGraph& graph,
+                         const LayerConfig& layers) {
+  std::ostringstream out;
+  out << "// Module-level include graph; regenerate with\n"
+         "//   gdmp_lint --layers tools/gdmp_lint/layers.conf --graph dot "
+         "src/\n"
+         "digraph gdmp_modules {\n"
+         "  rankdir=BT;\n"
+         "  node [shape=box, fontname=\"Helvetica\"];\n";
+  if (!layers.empty()) {
+    for (std::size_t rank = 0; rank < layers.layers.size(); ++rank) {
+      out << "  subgraph cluster_layer" << rank << " {\n"
+          << "    label=\"layer " << rank << "\";\n"
+          << "    rank=same;\n";
+      for (const std::string& module : layers.layers[rank]) {
+        out << "    \"" << module << "\";\n";
+      }
+      out << "  }\n";
+    }
+  } else {
+    for (const std::string& module : graph.modules) {
+      out << "  \"" << module << "\";\n";
+    }
+  }
+  for (const IncludeGraph::Edge& edge : graph.edges) {
+    out << "  \"" << edge.from_module << "\" -> \"" << edge.to_module
+        << "\" [label=\"" << edge.count << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace gdmp::lint

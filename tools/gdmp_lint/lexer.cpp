@@ -52,6 +52,31 @@ void parse_annotation(const std::string& comment, int line, FileScan& out) {
   if (!s.token.empty()) out.suppressions.push_back(s);
 }
 
+/// Parses an `#include "path"` / `#include <path>` directive body.
+void parse_include(const std::string& directive, int line, FileScan& out) {
+  std::size_t i = directive.find('#');
+  if (i == std::string::npos) return;
+  ++i;
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  if (directive.compare(i, 7, "include") != 0) return;
+  i += 7;
+  while (i < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[i]))) {
+    ++i;
+  }
+  if (i >= directive.size()) return;
+  const char open = directive[i];
+  if (open != '"' && open != '<') return;
+  const char close = open == '"' ? '"' : '>';
+  const std::size_t end = directive.find(close, i + 1);
+  if (end == std::string::npos) return;
+  out.includes.push_back(
+      {line, directive.substr(i + 1, end - i - 1), open == '<'});
+}
+
 }  // namespace
 
 FileScan scan_source(const std::string& content) {
@@ -125,6 +150,13 @@ FileScan scan_source(const std::string& content) {
       if (directive.find("pragma") != std::string::npos &&
           directive.find("once") != std::string::npos) {
         out.has_pragma_once = true;
+      }
+      parse_include(directive, line, out);
+      // A trailing comment on the directive line may carry an annotation
+      // (the idiomatic spot for keep-include).
+      if (const std::size_t comment = directive.find("//");
+          comment != std::string::npos) {
+        parse_annotation(directive.substr(comment), line, out);
       }
       advance(j - i);
       continue;

@@ -1,7 +1,7 @@
 // gdmp_lint: project-invariant checker for the GDMP codebase.
 //
-// A lightweight tokenizer (no libclang) plus a handful of rule passes that
-// enforce invariants the compiler cannot:
+// A lightweight tokenizer (no libclang) plus rule passes that enforce
+// invariants the compiler cannot. Per-file token rules:
 //
 //   wallclock          sim-determinism: no wall-clock time sources outside
 //                      src/common/random.* — all time flows through
@@ -25,17 +25,48 @@
 //   bare-suppression   a `// gdmp-lint:` annotation with no justification.
 //   unused-suppression an annotation that suppresses nothing.
 //
+// Flow-aware determinism rules (translation-unit call-graph analysis, with
+// container/float declarations collected across the whole input set so
+// members declared in headers are attributed in the .cpp):
+//
+//   unordered-iteration    iterating an unordered container inside a
+//                          function that (transitively, within the TU)
+//                          reaches a scheduling sink (Simulator::schedule,
+//                          rpc send/call, tcp/gridftp close & send slots)
+//                          makes the event order depend on hash order.
+//   unordered-float-accum  accumulating floating-point values in unordered
+//                          iteration order: fp addition is not associative,
+//                          so the sum depends on bucket layout.
+//
+// Whole-program include-graph rules (active when every file of interest is
+// scanned together, e.g. `gdmp_lint src/`):
+//
+//   upward-include     include edge from a lower layer into a higher layer
+//                      of the DAG declared in layers.conf.
+//   include-cycle      a module-level dependency cycle (Tarjan SCC).
+//   private-include    including another module's .cpp-private header
+//                      (`*_internal.h`, `*_detail.h`, `<module>/detail/`,
+//                      or a `private` pattern in layers.conf).
+//   unknown-module     a module missing from layers.conf.
+//   unused-include     a quoted project include none of whose declared
+//                      names appear in the including file (also duplicate
+//                      includes of the same header).
+//
 // Suppression syntax (same line as the finding or the line above):
 //
 //   // gdmp-lint: <token> — <individual justification, required>
 //
 // where <token> is the rule's suppression token: wallclock, raw-random,
 // owned-callback (for callback-lifetime), keepalive-cycle (for
-// shared-cycle), owned-new, owned-delete. Blanket (file- or region-wide)
-// suppression deliberately does not exist.
+// shared-cycle), owned-new, owned-delete, order-insensitive (for the two
+// unordered rules), keep-include (for unused-include). Blanket (file- or
+// region-wide) suppression deliberately does not exist. The graph rules
+// (upward-include, include-cycle, private-include, unknown-module) are
+// architectural and unsuppressible: fix the dependency instead.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -73,9 +104,17 @@ struct Suppression {
   mutable bool used = false;
 };
 
+/// One `#include` directive (quoted or angled).
+struct IncludeDirective {
+  int line = 0;
+  std::string path;    // the include operand, verbatim
+  bool angled = false; // <...> (system) vs "..." (project)
+};
+
 struct FileScan {
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
+  std::vector<IncludeDirective> includes;
   bool has_pragma_once = false;
 };
 
@@ -84,30 +123,109 @@ struct FileScan {
 /// `#pragma once`). Never fails; unrecognized bytes become punctuation.
 FileScan scan_source(const std::string& content);
 
+// ---------------------------------------------------------------- layers
+
+/// The declared architecture: modules assigned to layers (0 = lowest).
+/// Include edges must point downward or stay within a layer; the module
+/// graph must be acyclic regardless.
+struct LayerConfig {
+  std::vector<std::vector<std::string>> layers;  // layers[rank] = modules
+  std::map<std::string, int> ranks;              // module -> rank
+  std::vector<std::string> private_patterns;     // extra private-header marks
+
+  bool empty() const noexcept { return layers.empty(); }
+  /// -1 when the module is not declared.
+  int rank_of(const std::string& module) const;
+};
+
+/// Parses layers.conf:
+///   layer <module>...      one line per layer, lowest first
+///   private <substring>    marks matching header paths module-private
+/// '#' starts a comment. Returns false and sets `error` on malformed input.
+bool load_layer_config(const std::string& path, LayerConfig& config,
+                       std::string& error);
+
+// ---------------------------------------------------------------- graph
+
+/// The module-level include graph extracted from a scanned file set.
+struct IncludeGraph {
+  struct Edge {
+    std::string from_module;
+    std::string to_module;
+    // Representative include site (first seen, for diagnostics).
+    std::string file;
+    int line = 0;
+    int count = 0;  // number of file-level includes behind this edge
+  };
+  std::vector<std::string> modules;  // sorted
+  std::vector<Edge> edges;           // sorted by (from, to)
+
+  /// Total file-level include edges (the rebuild fan-out metric).
+  int file_edge_count = 0;
+};
+
 // ---------------------------------------------------------------- rules
 
 struct LintOptions {
   /// Path substrings exempt from the determinism rules (the blessed
   /// randomness/time shims live here).
-  std::vector<std::string> determinism_allowlist = {"common/random."};
+  std::vector<std::string> determinism_allowlist = {"common/random.",
+                                                    "common/det_hash."};
+  /// When non-empty, the include-graph pass checks layering (upward edges,
+  /// unknown modules) against this DAG. Cycle/private/unused checks run
+  /// whenever more than one module is scanned, config or not.
+  LayerConfig layers;
 };
 
 /// Class names that inherit std::enable_shared_from_this, collected across
 /// the whole input set so out-of-line member definitions are attributed.
 std::vector<std::string> collect_esft_classes(const FileScan& scan);
 
-/// Runs every rule over one scanned file. `esft_classes` is the repo-wide
-/// set from collect_esft_classes.
-void lint_file(const std::string& path, const FileScan& scan,
-               const std::vector<std::string>& esft_classes,
-               const LintOptions& options, std::vector<Finding>& findings);
+/// Identifier names declared with an unordered container type
+/// (std::unordered_map/set/..., common::UnorderedMap/Set), collected
+/// repo-wide so members declared in headers are attributed in the .cpp.
+std::vector<std::string> collect_unordered_names(const FileScan& scan);
 
-/// Reads, scans and lints every file; findings come back sorted by
-/// (file, line, rule). Unreadable paths produce an `io-error` finding.
+/// Identifier names declared float/double, same collection scheme.
+std::vector<std::string> collect_float_names(const FileScan& scan);
+
+/// Repo-wide declaration context handed to every per-file lint pass.
+struct DeclIndex {
+  std::vector<std::string> esft_classes;
+  std::vector<std::string> unordered_names;
+  std::vector<std::string> float_names;
+};
+
+/// Runs every per-file rule over one scanned file.
+void lint_file(const std::string& path, const FileScan& scan,
+               const DeclIndex& decls, const LintOptions& options,
+               std::vector<Finding>& findings);
+
+/// Include-graph pass over the whole scanned set: builds the module graph
+/// (quoted includes resolving to scanned files) and emits upward-include /
+/// include-cycle / private-include / unknown-module / unused-include
+/// findings. `graph_out`, when non-null, receives the extracted graph.
+void lint_include_graph(
+    const std::vector<std::pair<std::string, FileScan>>& scans,
+    const LintOptions& options, std::vector<Finding>& findings,
+    IncludeGraph* graph_out = nullptr);
+
+/// Reads, scans and lints every file (per-file rules + the include-graph
+/// pass); findings come back sorted by (file, line, rule). Unreadable paths
+/// produce an `io-error` finding.
 std::vector<Finding> run_lint(const std::vector<std::string>& files,
-                              const LintOptions& options = {});
+                              const LintOptions& options = {},
+                              IncludeGraph* graph_out = nullptr);
 
 /// Formats one finding as `file:line: [rule] message`.
 std::string format_finding(const Finding& finding);
+
+/// Formats the whole finding list as a JSON array (stable key order):
+/// [{"file":...,"line":N,"rule":...,"message":...},...].
+std::string format_findings_json(const std::vector<Finding>& findings);
+
+/// Renders the module graph as Graphviz DOT, one cluster per layer when a
+/// config is given (pass empty config for a flat digraph).
+std::string graph_to_dot(const IncludeGraph& graph, const LayerConfig& layers);
 
 }  // namespace gdmp::lint

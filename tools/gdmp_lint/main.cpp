@@ -1,10 +1,13 @@
 // gdmp_lint CLI: walks the given files/directories and reports every
 // project-invariant violation (see lint.h for the rule catalogue).
 //
-//   $ ./tools/gdmp_lint src/                 # the pre-merge gate
-//   $ ./tools/gdmp_lint src/net/tcp.cpp      # a single file
+//   $ ./tools/gdmp_lint --layers tools/gdmp_lint/layers.conf src/
+//   $ ./tools/gdmp_lint src/net/tcp.cpp              # a single file
+//   $ ./tools/gdmp_lint --graph dot --layers ... src/ > layers.dot
+//   $ ./tools/gdmp_lint --format json src/           # machine-readable
 //
-// Exit 0 with no findings, 1 with findings, 2 on usage errors.
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O errors (unreadable
+// inputs, bad layer config).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -22,15 +25,59 @@ bool lintable(const fs::path& path) {
   return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
 }
 
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: gdmp_lint [options] <file-or-directory>...\n"
+               "  --layers <layers.conf>  check the include graph against the "
+               "declared layer DAG\n"
+               "  --graph dot             print the module include graph as "
+               "Graphviz DOT (findings go to stderr)\n"
+               "  --format text|json      findings output format (default "
+               "text)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
+  std::string layers_path;
+  std::string graph_mode;
+  std::string format = "text";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: gdmp_lint <file-or-directory>...\n");
+      usage(stdout);
       return 0;
+    }
+    if (arg == "--layers") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "gdmp_lint: --layers needs a file argument\n");
+        return 2;
+      }
+      layers_path = argv[i];
+      continue;
+    }
+    if (arg == "--graph") {
+      if (++i >= argc || std::string(argv[i]) != "dot") {
+        std::fprintf(stderr, "gdmp_lint: --graph supports only 'dot'\n");
+        return 2;
+      }
+      graph_mode = argv[i];
+      continue;
+    }
+    if (arg == "--format") {
+      if (++i >= argc || (std::string(argv[i]) != "text" &&
+                          std::string(argv[i]) != "json")) {
+        std::fprintf(stderr, "gdmp_lint: --format supports 'text' or 'json'\n");
+        return 2;
+      }
+      format = argv[i];
+      continue;
+    }
+    if (arg.starts_with("--")) {
+      std::fprintf(stderr, "gdmp_lint: unknown option: %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
     }
     std::error_code ec;
     if (fs::is_directory(arg, ec)) {
@@ -48,17 +95,48 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: gdmp_lint <file-or-directory>...\n");
+    usage(stderr);
     return 2;
   }
   std::sort(files.begin(), files.end());
 
-  const auto findings = gdmp::lint::run_lint(files);
-  for (const auto& finding : findings) {
-    std::printf("%s\n", gdmp::lint::format_finding(finding).c_str());
+  gdmp::lint::LintOptions options;
+  if (!layers_path.empty()) {
+    std::string error;
+    if (!gdmp::lint::load_layer_config(layers_path, options.layers, error)) {
+      std::fprintf(stderr, "gdmp_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  gdmp::lint::IncludeGraph graph;
+  const auto findings = gdmp::lint::run_lint(files, options, &graph);
+
+  // --graph dot owns stdout; findings move to stderr so the DOT stays
+  // machine-consumable either way.
+  std::FILE* finding_stream = graph_mode.empty() ? stdout : stderr;
+  if (format == "json") {
+    std::fprintf(finding_stream, "%s",
+                 gdmp::lint::format_findings_json(findings).c_str());
+  } else {
+    for (const auto& finding : findings) {
+      std::fprintf(finding_stream, "%s\n",
+                   gdmp::lint::format_finding(finding).c_str());
+    }
+  }
+  if (graph_mode == "dot") {
+    std::printf("%s", gdmp::lint::graph_to_dot(graph, options.layers).c_str());
+  }
+
+  const bool io_error = std::ranges::any_of(
+      findings, [](const auto& f) { return f.rule == "io-error"; });
+  if (io_error) {
+    std::fprintf(stderr, "gdmp_lint: unreadable input\n");
+    return 2;
   }
   if (findings.empty()) {
-    std::fprintf(stderr, "gdmp_lint: %zu files clean\n", files.size());
+    std::fprintf(stderr, "gdmp_lint: %zu files clean (%d include edges)\n",
+                 files.size(), graph.file_edge_count);
     return 0;
   }
   std::fprintf(stderr, "gdmp_lint: %zu finding(s) in %zu files\n",

@@ -1,6 +1,7 @@
 // Rule passes for gdmp_lint. Everything here works on the token stream from
 // scan_source(); see lint.h for the rule catalogue and suppression syntax.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -43,14 +44,19 @@ std::string suppression_token(const std::string& rule) {
   if (rule == "shared-cycle") return "keepalive-cycle";
   if (rule == "naked-new") return "owned-new";
   if (rule == "naked-delete") return "owned-delete";
+  if (rule == "unordered-iteration" || rule == "unordered-float-accum") {
+    return "order-insensitive";
+  }
+  if (rule == "unused-include") return "keep-include";
   if (rule == "wallclock" || rule == "raw-random") return rule;
   return "";
 }
 
 const std::set<std::string>& known_suppression_tokens() {
   static const std::set<std::string> tokens = {
-      "wallclock", "raw-random",  "owned-callback",
-      "keepalive-cycle", "owned-new", "owned-delete"};
+      "wallclock",       "raw-random", "owned-callback",
+      "keepalive-cycle", "owned-new",  "owned-delete",
+      "order-insensitive", "keep-include"};
   return tokens;
 }
 
@@ -400,6 +406,270 @@ void check_shared_cycle(const FileScan& scan,
   }
 }
 
+// ------------------------------------------- flow-aware determinism
+
+/// Scheduling sinks for the unordered-iteration rule: calls that feed the
+/// simulator event queue or the async transport, so anything executed in
+/// container order before them imprints that order on the event schedule.
+bool is_scheduling_sink(const std::string& ident) {
+  static const std::set<std::string> sinks = {
+      "schedule", "schedule_at", "call",    "send",      "write",
+      "publish",  "enqueue",     "replicate", "transfer_to", "notify",
+      "close",    "cancel",      "post",
+  };
+  return sinks.contains(ident) || ident.starts_with("send_") ||
+         ident.starts_with("close_") || ident.starts_with("schedule_") ||
+         ident.starts_with("notify_");
+}
+
+/// C++ keywords that look like calls at the token level.
+bool is_call_keyword(const std::string& ident) {
+  static const std::set<std::string> keywords = {
+      "if",     "for",      "while",  "switch",        "catch",
+      "return", "sizeof",   "alignof","decltype",      "static_cast",
+      "dynamic_cast",       "const_cast",  "reinterpret_cast",
+      "new",    "delete",   "throw",  "co_return",     "co_await",
+      "assert", "static_assert",
+  };
+  return keywords.contains(ident);
+}
+
+struct Function {
+  std::string name;
+  int line = 0;
+  std::size_t body_begin = 0;  // index of '{'
+  std::size_t body_end = 0;    // index of matching '}'
+};
+
+/// Function definitions in the token stream: IDENT '(' params ')'
+/// [qualifiers / member-init list] '{'. Inline members, out-of-line
+/// definitions and free functions all match; calls do not (their statement
+/// ends in ';' before any body brace).
+std::vector<Function> find_functions(const std::vector<Token>& tokens) {
+  std::vector<Function> functions;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        is_call_keyword(tokens[i].text) || !punct_is(tokens[i + 1], "(")) {
+      continue;
+    }
+    if (i > 0 && (punct_is(tokens[i - 1], ".") || punct_is(tokens[i - 1], "->"))) {
+      continue;  // member call
+    }
+    const std::size_t params_close = matching_close(tokens, i + 1);
+    if (params_close == std::string::npos) continue;
+    // Scan past cv/ref/noexcept/override/trailing-return and member-init
+    // lists to the body '{'; a ';' or '=' at paren depth 0 means this was a
+    // declaration, a call statement or an initializer, not a definition.
+    int paren_depth = 0;
+    for (std::size_t k = params_close + 1;
+         k < tokens.size() && k < params_close + 400; ++k) {
+      if (punct_is(tokens[k], "(")) ++paren_depth;
+      if (punct_is(tokens[k], ")")) --paren_depth;
+      if (paren_depth > 0) continue;
+      if (punct_is(tokens[k], ";") || punct_is(tokens[k], "=") ||
+          punct_is(tokens[k], "}")) {
+        break;
+      }
+      if (punct_is(tokens[k], "{")) {
+        // Member-init braces `: a_{x}` are consumed as nested blocks by the
+        // matcher; treating them as the body only shrinks the attributed
+        // range, which is safe for this analysis.
+        const std::size_t close = matching_close(tokens, k);
+        if (close != std::string::npos) {
+          functions.push_back({tokens[i].text, tokens[i].line, k, close});
+        }
+        break;
+      }
+    }
+  }
+  return functions;
+}
+
+/// Functions that reach a scheduling sink directly or through calls to
+/// other functions defined in this translation unit (fixed point over the
+/// local call graph, matched by name).
+std::vector<bool> tainted_functions(const std::vector<Token>& tokens,
+                                    const std::vector<Function>& functions) {
+  std::set<std::string> names;
+  for (const Function& f : functions) names.insert(f.name);
+
+  std::vector<std::set<std::string>> calls(functions.size());
+  std::vector<bool> tainted(functions.size(), false);
+  for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+    const Function& f = functions[fi];
+    for (std::size_t i = f.body_begin; i < f.body_end; ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier) continue;
+      const bool call_like =
+          i + 1 < f.body_end &&
+          (punct_is(tokens[i + 1], "(") || punct_is(tokens[i + 1], "<"));
+      if (!call_like) continue;
+      if (is_scheduling_sink(tokens[i].text)) tainted[fi] = true;
+      if (names.contains(tokens[i].text)) calls[fi].insert(tokens[i].text);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+      if (tainted[fi]) continue;
+      for (std::size_t gi = 0; gi < functions.size(); ++gi) {
+        if (tainted[gi] && calls[fi].contains(functions[gi].name)) {
+          tainted[fi] = changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return tainted;
+}
+
+struct UnorderedLoop {
+  int line = 0;                 // the `for` keyword's line
+  std::string container;        // the unordered name being iterated
+  std::size_t body_begin = 0;   // first token of the loop body
+  std::size_t body_end = 0;     // one past the last body token
+  std::size_t enclosing = std::string::npos;  // index into functions
+};
+
+/// Range-for statements whose sequence expression ends in an identifier
+/// declared with an unordered container type. `unordered` is the repo-wide
+/// declaration set plus this file's `auto x = std::move(member_)` aliases.
+std::vector<UnorderedLoop> find_unordered_loops(
+    const std::vector<Token>& tokens, const std::vector<Function>& functions,
+    const std::set<std::string>& unordered) {
+  std::vector<UnorderedLoop> loops;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!ident_is(tokens[i], "for") || !punct_is(tokens[i + 1], "(")) continue;
+    const std::size_t close = matching_close(tokens, i + 1);
+    if (close == std::string::npos) continue;
+    // Top-level ':' separates a range-for declaration from its sequence.
+    std::size_t colon = std::string::npos;
+    int depth = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      const Token& t = tokens[j];
+      if (t.kind == TokenKind::kPunct &&
+          (t.text == "(" || t.text == "[" || t.text == "{")) {
+        ++depth;
+      } else if (t.kind == TokenKind::kPunct &&
+                 (t.text == ")" || t.text == "]" || t.text == "}")) {
+        --depth;
+      } else if (depth == 0 && punct_is(t, ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == std::string::npos) continue;
+    std::string last_ident;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (tokens[j].kind == TokenKind::kIdentifier) last_ident = tokens[j].text;
+    }
+    if (last_ident.empty() || !unordered.contains(last_ident)) continue;
+
+    UnorderedLoop loop;
+    loop.line = tokens[i].line;
+    loop.container = last_ident;
+    if (close + 1 < tokens.size() && punct_is(tokens[close + 1], "{")) {
+      const std::size_t body_close = matching_close(tokens, close + 1);
+      if (body_close == std::string::npos) continue;
+      loop.body_begin = close + 2;
+      loop.body_end = body_close;
+    } else {
+      loop.body_begin = close + 1;
+      loop.body_end = loop.body_begin;
+      while (loop.body_end < tokens.size() &&
+             !punct_is(tokens[loop.body_end], ";")) {
+        ++loop.body_end;
+      }
+    }
+    for (std::size_t fi = 0; fi < functions.size(); ++fi) {
+      if (i > functions[fi].body_begin && i < functions[fi].body_end &&
+          (loop.enclosing == std::string::npos ||
+           functions[fi].body_begin > functions[loop.enclosing].body_begin)) {
+        loop.enclosing = fi;  // innermost enclosing function
+      }
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+/// This file's `auto x = std::move(unordered_member_)` (or `auto& x = m_`)
+/// rebindings, so moved-out locals keep their unordered attribution.
+void add_local_unordered_aliases(const std::vector<Token>& tokens,
+                                 std::set<std::string>& unordered) {
+  bool changed = true;
+  while (changed) {  // aliases of aliases
+    changed = false;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (!ident_is(tokens[i], "auto")) continue;
+      std::size_t j = i + 1;
+      while (j < tokens.size() &&
+             (punct_is(tokens[j], "&") || punct_is(tokens[j], "*") ||
+              ident_is(tokens[j], "const"))) {
+        ++j;
+      }
+      if (j + 1 >= tokens.size() ||
+          tokens[j].kind != TokenKind::kIdentifier ||
+          !punct_is(tokens[j + 1], "=")) {
+        continue;
+      }
+      const std::string& name = tokens[j].text;
+      if (unordered.contains(name)) continue;
+      for (std::size_t k = j + 2; k < tokens.size() && k < j + 24; ++k) {
+        if (punct_is(tokens[k], ";")) break;
+        if (tokens[k].kind == TokenKind::kIdentifier &&
+            unordered.contains(tokens[k].text)) {
+          unordered.insert(name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void check_unordered_iteration(const FileScan& scan, const DeclIndex& decls,
+                               Emitter& emitter) {
+  const auto& tokens = scan.tokens;
+  std::set<std::string> unordered(decls.unordered_names.begin(),
+                                  decls.unordered_names.end());
+  if (unordered.empty()) return;
+  add_local_unordered_aliases(tokens, unordered);
+
+  const std::vector<Function> functions = find_functions(tokens);
+  const std::vector<bool> tainted = tainted_functions(tokens, functions);
+  const std::set<std::string> floats(decls.float_names.begin(),
+                                     decls.float_names.end());
+
+  for (const UnorderedLoop& loop :
+       find_unordered_loops(tokens, functions, unordered)) {
+    if (loop.enclosing != std::string::npos && tainted[loop.enclosing]) {
+      emitter.emit(
+          "unordered-iteration", loop.line,
+          "iterating unordered container '" + loop.container +
+              "' inside '" + functions[loop.enclosing].name +
+              "', which reaches a scheduling sink — the event order would "
+              "depend on hash order; use std::map/sorted vector, or "
+              "annotate order-insensitive with a justification");
+    }
+    for (std::size_t i = loop.body_begin;
+         i < loop.body_end && i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind == TokenKind::kIdentifier &&
+          floats.contains(tokens[i].text) &&
+          (punct_is(tokens[i + 1], "+=") || punct_is(tokens[i + 1], "-=") ||
+           punct_is(tokens[i + 1], "*="))) {
+        emitter.emit(
+            "unordered-float-accum", tokens[i].line,
+            "accumulating floating-point '" + tokens[i].text +
+                "' in unordered iteration order over '" + loop.container +
+                "' — fp addition is not associative, so the result depends "
+                "on hash order; iterate a sorted view or annotate "
+                "order-insensitive");
+      }
+    }
+  }
+}
+
 // --------------------------------------------------------- hygiene
 
 void check_hygiene(const std::string& path, const FileScan& scan,
@@ -518,24 +788,82 @@ std::vector<std::string> collect_esft_classes(const FileScan& scan) {
   return classes;
 }
 
+std::vector<std::string> collect_unordered_names(const FileScan& scan) {
+  static const std::set<std::string> unordered_types = {
+      "unordered_map",      "unordered_set",  "unordered_multimap",
+      "unordered_multiset", "UnorderedMap",   "UnorderedSet",
+  };
+  std::vector<std::string> names;
+  const auto& tokens = scan.tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        !unordered_types.contains(tokens[i].text) ||
+        !punct_is(tokens[i + 1], "<")) {
+      continue;
+    }
+    // Walk the template argument list; `>>` closes two levels at once.
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < tokens.size(); ++j) {
+      if (tokens[j].kind != TokenKind::kPunct) continue;
+      if (tokens[j].text == "<") ++depth;
+      if (tokens[j].text == ">") --depth;
+      if (tokens[j].text == ">>") depth -= 2;
+      if (depth <= 0) break;
+    }
+    // The declared name: next identifier, past `&` / `*` / `const`.
+    for (++j; j < tokens.size() && j < i + 80; ++j) {
+      if (punct_is(tokens[j], "&") || punct_is(tokens[j], "*") ||
+          ident_is(tokens[j], "const")) {
+        continue;
+      }
+      if (tokens[j].kind == TokenKind::kIdentifier) {
+        names.push_back(tokens[j].text);
+      }
+      break;  // anything else: an unnamed use (return type, temporary)
+    }
+  }
+  return names;
+}
+
+std::vector<std::string> collect_float_names(const FileScan& scan) {
+  std::vector<std::string> names;
+  const auto& tokens = scan.tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (!ident_is(tokens[i], "double") && !ident_is(tokens[i], "float")) {
+      continue;
+    }
+    if (tokens[i + 1].kind != TokenKind::kIdentifier) continue;
+    // A following '(' would make this a function returning double.
+    const Token& after = tokens[i + 2];
+    if (punct_is(after, "=") || punct_is(after, ";") || punct_is(after, ",") ||
+        punct_is(after, ")") || punct_is(after, "{")) {
+      names.push_back(tokens[i + 1].text);
+    }
+  }
+  return names;
+}
+
 void lint_file(const std::string& path, const FileScan& scan,
-               const std::vector<std::string>& esft_classes,
-               const LintOptions& options, std::vector<Finding>& findings) {
+               const DeclIndex& decls, const LintOptions& options,
+               std::vector<Finding>& findings) {
   Emitter emitter(path, scan, findings);
   check_determinism(path, scan, options, emitter);
   const std::vector<Lambda> lambdas = find_lambdas(scan.tokens);
-  const auto esft_regions = esft_token_regions(scan, esft_classes);
+  const auto esft_regions = esft_token_regions(scan, decls.esft_classes);
   check_callback_lifetime(scan, lambdas, esft_regions, emitter);
   check_shared_cycle(scan, lambdas, emitter);
+  check_unordered_iteration(scan, decls, emitter);
   check_hygiene(path, scan, emitter);
   emitter.finish();
 }
 
 std::vector<Finding> run_lint(const std::vector<std::string>& files,
-                              const LintOptions& options) {
+                              const LintOptions& options,
+                              IncludeGraph* graph_out) {
   std::vector<Finding> findings;
   std::vector<std::pair<std::string, FileScan>> scans;
-  std::vector<std::string> esft_classes;
+  DeclIndex decls;
   for (const std::string& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -545,12 +873,23 @@ std::vector<Finding> run_lint(const std::vector<std::string>& files,
     std::ostringstream buffer;
     buffer << in.rdbuf();
     scans.emplace_back(path, scan_source(buffer.str()));
-    for (std::string& name : collect_esft_classes(scans.back().second)) {
-      esft_classes.push_back(std::move(name));
+    const FileScan& scan = scans.back().second;
+    for (std::string& name : collect_esft_classes(scan)) {
+      decls.esft_classes.push_back(std::move(name));
+    }
+    for (std::string& name : collect_unordered_names(scan)) {
+      decls.unordered_names.push_back(std::move(name));
+    }
+    for (std::string& name : collect_float_names(scan)) {
+      decls.float_names.push_back(std::move(name));
     }
   }
+  // The graph pass runs first so keep-include suppressions it honours are
+  // already marked used when the per-file unused-suppression accounting
+  // runs.
+  lint_include_graph(scans, options, findings, graph_out);
   for (const auto& [path, scan] : scans) {
-    lint_file(path, scan, esft_classes, options, findings);
+    lint_file(path, scan, decls, options, findings);
   }
   std::ranges::sort(findings, [](const Finding& a, const Finding& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
@@ -561,6 +900,40 @@ std::vector<Finding> run_lint(const std::vector<std::string>& files,
 std::string format_finding(const Finding& finding) {
   return finding.file + ":" + std::to_string(finding.line) + ": [" +
          finding.rule + "] " + finding.message;
+}
+
+std::string format_findings_json(const std::vector<Finding>& findings) {
+  const auto escape = [](const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"file\": \"" + escape(f.file) + "\", \"line\": " +
+           std::to_string(f.line) + ", \"rule\": \"" + escape(f.rule) +
+           "\", \"message\": \"" + escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
 }
 
 }  // namespace gdmp::lint
