@@ -11,15 +11,20 @@
 #include "bench_util.h"
 #include "common/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdmp;
   using namespace gdmp::bench;
 
-  const std::vector<Bytes> buffers = {16 * kKiB,  32 * kKiB,  64 * kKiB,
-                                      128 * kKiB, 256 * kKiB, 512 * kKiB,
-                                      704 * kKiB, 1 * kMiB,   2 * kMiB};
-  const std::vector<int> streams = {1, 2, 3, 5, 10};
-  const Bytes file_size = 25 * kMiB;
+  const bool smoke = smoke_mode(argc, argv);
+  BenchReport report("buffer_sweep", smoke);
+  const std::vector<Bytes> buffers =
+      smoke ? std::vector<Bytes>{64 * kKiB}
+            : std::vector<Bytes>{16 * kKiB,  32 * kKiB,  64 * kKiB,
+                                 128 * kKiB, 256 * kKiB, 512 * kKiB,
+                                 704 * kKiB, 1 * kMiB,   2 * kMiB};
+  const std::vector<int> streams =
+      smoke ? std::vector<int>{1} : std::vector<int>{1, 2, 3, 5, 10};
+  const Bytes file_size = smoke ? 2 * kMiB : 25 * kMiB;
 
   WanBenchConfig config;
   std::printf(
@@ -39,6 +44,10 @@ int main() {
       const TransferSample sample = run_wan_get(config, file_size, n, buffer);
       std::printf(" %7.2f", sample.ok ? sample.mbps : -1.0);
       std::fflush(stdout);
+      report.add({{"buffer_kib", static_cast<long long>(buffer / kKiB)},
+                  {"streams", n},
+                  {"ok", sample.ok},
+                  {"mbps", sample.mbps}});
       if (buffer == 64 * kKiB && n == 10) untuned_10 = sample.mbps;
       if (buffer == 704 * kKiB && n == 1) tuned_1 = sample.mbps;
       if (buffer == 704 * kKiB && n == 2) tuned_2 = sample.mbps;

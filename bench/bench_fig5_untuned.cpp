@@ -9,17 +9,22 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdmp;
   using namespace gdmp::bench;
 
-  const std::vector<int> streams = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  const std::vector<std::pair<const char*, Bytes>> files = {
+  const bool smoke = smoke_mode(argc, argv);
+  BenchReport report("fig5_untuned", smoke);
+  const std::vector<int> streams =
+      smoke ? std::vector<int>{1} : std::vector<int>{1, 2, 3, 4, 5,
+                                                     6, 7, 8, 9, 10};
+  std::vector<std::pair<const char*, Bytes>> files = {
       {"1 MB", 1 * kMiB},
       {"25 MB", 25 * kMiB},
       {"50 MB", 50 * kMiB},
       {"100 MB", 100 * kMiB},
   };
+  if (smoke) files.resize(1);
 
   WanBenchConfig config;
   std::printf(
@@ -35,6 +40,11 @@ int main() {
       const TransferSample sample = run_wan_get(config, size, n, 64 * kKiB);
       std::printf(" %7.2f", sample.ok ? sample.mbps : -1.0);
       std::fflush(stdout);
+      report.add({{"file_mib", static_cast<long long>(size / kMiB)},
+                  {"streams", n},
+                  {"ok", sample.ok},
+                  {"mbps", sample.mbps},
+                  {"seconds", sample.seconds}});
     }
     std::printf("\n");
   }

@@ -9,16 +9,19 @@
 // preserved) and sweeps the selection fraction to find the crossover.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "objrep/selection.h"
 #include "testbed/grid.h"
 #include "testbed/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdmp;
   using namespace gdmp::testbed;
 
-  constexpr std::int64_t kEvents = 200'000;
+  const bool smoke = bench::smoke_mode(argc, argv);
+  bench::BenchReport report("object_vs_file", smoke);
+  const std::int64_t kEvents = smoke ? 20'000 : 200'000;
   std::printf(
       "OBJ1: file vs object replication, AOD tier (10 KiB objects),\n"
       "%lld events, %lld objects/file, selections uniform-random\n\n",
@@ -42,8 +45,10 @@ int main() {
   Rng rng(99);
   double crossover = -1;
   double previous_ratio = 1e9;
-  for (const double fraction :
-       {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0}) {
+  std::vector<double> fractions = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                   3e-2, 1e-1, 3e-1, 1.0};
+  if (smoke) fractions = {1e-3, 1e-1};
+  for (const double fraction : fractions) {
     objrep::SelectionConfig selection;
     selection.fraction = fraction;
     selection.tier = objstore::Tier::kAod;
@@ -63,6 +68,12 @@ int main() {
       crossover = fraction;
     }
     previous_ratio = ratio;
+    report.add({{"fraction", fraction},
+                {"objects", static_cast<long long>(objects.size())},
+                {"object_mib", static_cast<double>(object_bytes) / (1 << 20)},
+                {"file_mib",
+                 static_cast<double>(cover.total_bytes) / (1 << 20)},
+                {"ratio", ratio}});
   }
   std::printf(
       "\nat the paper's 1e-3 fraction, file replication moves the whole "
@@ -73,9 +84,10 @@ int main() {
 
   // End-to-end check on a live two-site grid with a smaller tier: measure
   // actual bytes moved both ways.
-  std::printf("\nlive two-site measurement (20k events, fraction 2e-3):\n");
+  std::printf("\nlive two-site measurement (%s events, fraction 2e-3):\n",
+              smoke ? "5k" : "20k");
   GridConfig config = two_site_config();
-  config.event_count = 20'000;
+  config.event_count = smoke ? 5'000 : 20'000;
   for (auto& spec : config.sites) {
     spec.site.gdmp.transfer.parallel_streams = 4;
     spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
@@ -146,5 +158,11 @@ int main() {
                     static_cast<double>(object_moved),
                 file_seconds / object_seconds);
   }
+  report.add({{"fraction", 2e-3},
+              {"live", true},
+              {"object_mib", static_cast<double>(object_moved) / (1 << 20)},
+              {"object_seconds", object_seconds},
+              {"file_mib", static_cast<double>(file_moved) / (1 << 20)},
+              {"file_seconds", file_seconds}});
   return 0;
 }

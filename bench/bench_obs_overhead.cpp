@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
 #include "testbed/grid.h"
@@ -23,6 +24,9 @@ namespace {
 using namespace gdmp;
 using namespace gdmp::testbed;
 
+// Overridden to a tiny run under --smoke.
+std::int64_t g_event_count = 20'000;
+
 struct Mode {
   const char* name;
   bool metrics;
@@ -32,7 +36,7 @@ struct Mode {
 /// One publish + auto-replicate run; returns host seconds spent simulating.
 double run_once(const Mode& mode) {
   GridConfig config = two_site_config();
-  config.event_count = 20'000;
+  config.event_count = g_event_count;
   for (auto& spec : config.sites) {
     spec.site.gdmp.transfer.parallel_streams = 4;
     spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
@@ -73,21 +77,24 @@ double run_once(const Mode& mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  bench::BenchReport report("obs_overhead", smoke);
+  if (smoke) g_event_count = 4'000;
   constexpr Mode kModes[] = {
       {"off", false, false},
       {"metrics", true, false},
       {"metrics+trace", true, true},
   };
   constexpr int kModeCount = 3;
-  constexpr int kRepetitions = 3;
+  const int kRepetitions = smoke ? 1 : 3;
 
   std::printf("OBS: host wall-clock of one publish + auto-replicate run "
               "(best of %d)\n\n", kRepetitions);
 
   // One untimed pass warms the allocator, then repetitions interleave the
   // modes so none of them benefits from running last.
-  (void)run_once(kModes[0]);
+  if (!smoke) (void)run_once(kModes[0]);
   double best[kModeCount] = {-1, -1, -1};
   bool ok = true;
   for (int rep = 0; rep < kRepetitions; ++rep) {
@@ -110,6 +117,10 @@ int main() {
     }
     std::printf("%-16s %12.3f %+11.1f%%\n", kModes[m].name, best[m],
                 off > 0 ? (best[m] / off - 1.0) * 100.0 : 0.0);
+    report.add({{"mode", kModes[m].name},
+                {"host_seconds", best[m]},
+                {"vs_off_percent",
+                 off > 0 ? (best[m] / off - 1.0) * 100.0 : 0.0}});
   }
   std::printf(
       "\nthe 'off' mode runs the exact bench_pipeline configuration --\n"

@@ -5,6 +5,7 @@
 // packed first) across chunk sizes.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "objrep/selection.h"
 #include "testbed/grid.h"
@@ -15,9 +16,10 @@ namespace {
 using namespace gdmp;
 using namespace gdmp::testbed;
 
-double run_once(bool pipeline, Bytes chunk_size, double fraction) {
+double run_once(bool pipeline, Bytes chunk_size, double fraction,
+                std::int64_t event_count) {
   GridConfig config = two_site_config();
-  config.event_count = 40'000;
+  config.event_count = event_count;
   for (auto& spec : config.sites) {
     spec.site.gdmp.transfer.parallel_streams = 4;
     spec.site.gdmp.transfer.tcp_buffer = 1 * kMiB;
@@ -57,21 +59,33 @@ double run_once(bool pipeline, Bytes chunk_size, double fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdmp;
+  const bool smoke = bench::smoke_mode(argc, argv);
+  bench::BenchReport report("pipeline", smoke);
+  const std::int64_t events = smoke ? 8'000 : 40'000;
   std::printf(
       "PIPE: object replication response time (s), pipelined vs "
-      "sequential\nselection: 0.5%% of 40k events (2000 AOD objects, "
-      "~19.5 MiB)\n\n");
+      "sequential\nselection: 5%% of %lldk events\n\n",
+      static_cast<long long>(events / 1000));
   std::printf("%-12s %12s %12s %9s\n", "chunk", "pipelined", "sequential",
               "speedup");
-  for (const Bytes chunk : {2 * kMiB, 4 * kMiB, 8 * kMiB}) {
-    const double with_pipeline = run_once(true, chunk, 5e-2);
-    const double without_pipeline = run_once(false, chunk, 5e-2);
+  const std::vector<Bytes> chunks =
+      smoke ? std::vector<Bytes>{4 * kMiB}
+            : std::vector<Bytes>{2 * kMiB, 4 * kMiB, 8 * kMiB};
+  for (const Bytes chunk : chunks) {
+    const double with_pipeline = run_once(true, chunk, 5e-2, events);
+    const double without_pipeline = run_once(false, chunk, 5e-2, events);
     std::printf("%-12s %12.1f %12.1f %8.2fx\n",
                 format_bytes(chunk).c_str(), with_pipeline,
                 without_pipeline,
                 with_pipeline > 0 ? without_pipeline / with_pipeline : 0.0);
+    report.add({{"chunk_mib", static_cast<long long>(chunk / kMiB)},
+                {"pipelined_seconds", with_pipeline},
+                {"sequential_seconds", without_pipeline},
+                {"speedup", with_pipeline > 0
+                                ? without_pipeline / with_pipeline
+                                : 0.0}});
   }
   std::printf(
       "\npaper reference: overlapping copy and transfer hides the smaller\n"

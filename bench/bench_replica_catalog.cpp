@@ -7,19 +7,24 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "catalog/replica_catalog.h"
 #include "testbed/grid.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gdmp;
   using namespace gdmp::testbed;
 
+  const bool smoke = bench::smoke_mode(argc, argv);
+  bench::BenchReport report("replica_catalog", smoke);
   std::printf("CAT: replica catalog service scaling\n\n");
   std::printf("%-10s %14s %14s %14s\n", "files", "publish[s]", "lookup[ms]",
               "search[ms]");
 
-  for (const int count : {100, 1000, 10000}) {
+  const std::vector<int> counts =
+      smoke ? std::vector<int>{100} : std::vector<int>{100, 1000, 10000};
+  for (const int count : counts) {
     GridConfig config = two_site_config();
     config.event_count = 1000;
     Grid grid(config);
@@ -76,6 +81,11 @@ int main() {
     grid.run_until(grid.simulator().now() + 600 * kSecond);
     std::printf("%-10d %14.1f %14.2f %14.2f  (matches=%zu)\n", count,
                 publish_seconds, lookup_ms, search_ms, matches);
+    report.add({{"files", count},
+                {"publish_seconds", publish_seconds},
+                {"lookup_ms", lookup_ms},
+                {"search_ms", search_ms},
+                {"matches", static_cast<long long>(matches)}});
   }
 
   // Wrapper vs raw call count, on the in-process catalog object.
@@ -86,7 +96,7 @@ int main() {
     (void)catalog.create_collection("cms");
     (void)catalog.create_location("cms", "cern", "gsiftp://cern/pool");
     const auto t0 = clock::now();
-    constexpr int kOps = 20000;
+    const int kOps = smoke ? 2000 : 20000;
     for (int i = 0; i < kOps; ++i) {
       catalog::LogicalFileAttributes attrs;
       attrs.size = i;
@@ -100,6 +110,10 @@ int main() {
     std::printf("  %d register+add_replica pairs in %.3f s (%.0f ops/s)\n",
                 kOps, seconds, 2 * kOps / seconds);
     std::printf("  LDAP entries: %zu\n", catalog.store().entry_count());
+    report.add({{"name", "local_wrapper"},
+                {"pairs", kOps},
+                {"seconds", seconds},
+                {"ops_per_sec", 2 * kOps / seconds}});
   }
   return 0;
 }

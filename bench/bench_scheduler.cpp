@@ -14,6 +14,7 @@
 // batch to the 155 Mbit/s source.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "testbed/grid.h"
 #include "testbed/workload.h"
@@ -23,8 +24,9 @@ namespace {
 using namespace gdmp;
 using namespace gdmp::testbed;
 
-constexpr int kFiles = 32;
-constexpr Bytes kFileSize = 8 * kMiB;
+// Overridden to a tiny batch under --smoke.
+int kFiles = 32;
+Bytes kFileSize = 8 * kMiB;
 
 struct RunResult {
   double seconds = -1;
@@ -109,7 +111,13 @@ RunResult run_once(int max_concurrent, int max_per_source) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = gdmp::bench::smoke_mode(argc, argv);
+  gdmp::bench::BenchReport report("scheduler", smoke);
+  if (smoke) {
+    kFiles = 4;
+    kFileSize = 2 * kMiB;
+  }
   std::printf("SCHED: queued vs serial replication, %d x %lld MiB, 3 sources\n\n",
               kFiles, static_cast<long long>(kFileSize / kMiB));
 
@@ -143,11 +151,11 @@ int main() {
                 static_cast<double>(queued.completed);
   std::printf("\nspeedup: %.2fx   fast-source share (queued): %.0f%%\n",
               speedup, 100.0 * fast_share);
-  std::printf(
-      "BENCH {\"bench\":\"scheduler\",\"files\":%d,\"file_mib\":%lld,"
-      "\"serial_s\":%.1f,\"queued_s\":%.1f,\"speedup\":%.2f,"
-      "\"fast_share\":%.2f}\n",
-      kFiles, static_cast<long long>(kFileSize / kMiB), serial.seconds,
-      queued.seconds, speedup, fast_share);
+  report.add({{"files", kFiles},
+              {"file_mib", static_cast<long long>(kFileSize / kMiB)},
+              {"serial_seconds", serial.seconds},
+              {"queued_seconds", queued.seconds},
+              {"speedup", speedup},
+              {"fast_share", fast_share}});
   return 0;
 }

@@ -6,6 +6,7 @@
 // requests contend for few tape drives.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "testbed/grid.h"
 #include "testbed/workload.h"
@@ -58,17 +59,23 @@ double run_scenario(bool script_stager, bool evict, int* stages_out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = gdmp::bench::smoke_mode(argc, argv);
+  gdmp::bench::BenchReport report("staging", smoke);
   std::printf("STAGE: replication latency of one 19.5 MiB file (s)\n\n");
   int stages = 0;
   const double warm = run_scenario(false, false, nullptr);
   std::printf("%-38s %8.1f\n", "warm (on disk pool)", warm);
+  report.add({{"name", "warm"}, {"seconds", warm}});
   const double cold_hrm = run_scenario(false, true, &stages);
   std::printf("%-38s %8.1f  (stages=%d)\n", "cold via HRM plug-in", cold_hrm,
               stages);
+  report.add({{"name", "cold_hrm"}, {"seconds", cold_hrm}, {"stages", stages}});
   const double cold_script = run_scenario(true, true, nullptr);
   std::printf("%-38s %8.1f\n", "cold via staging-script plug-in",
               cold_script);
+  report.add({{"name", "cold_script"}, {"seconds", cold_script}});
+  if (smoke) return warm > 0 && cold_hrm > 0 && cold_script > 0 ? 0 : 1;
 
   // Drive contention: many cold files, few drives.
   std::printf("\ndrive contention (8 cold files, 2 tape drives):\n");
@@ -109,5 +116,9 @@ int main() {
                   ? to_seconds(mss.total_queue_wait) /
                         static_cast<double>(mss.stages)
                   : 0.0);
+  report.add({{"name", "contention"},
+              {"files", static_cast<long long>(lfns.size())},
+              {"seconds", total_seconds},
+              {"stages", static_cast<long long>(mss.stages)}});
   return 0;
 }

@@ -7,8 +7,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "gridftp/client.h"
@@ -19,6 +23,111 @@
 #include "storage/disk_pool.h"
 
 namespace gdmp::bench {
+
+/// True when the binary was invoked with --smoke: benches shrink their
+/// sweeps to one tiny data point so ctest (label `bench_smoke`) can exercise
+/// every bench binary end to end in seconds.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
+/// One already-encoded JSON token; constructors cover the scalar types the
+/// benches report.
+struct JsonValue {
+  std::string text;
+
+  JsonValue(double v) {  // NOLINT(google-explicit-constructor)
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.8g", v);
+    text = buf;
+  }
+  JsonValue(int v) : text(std::to_string(v)) {}  // NOLINT
+  JsonValue(long v) : text(std::to_string(v)) {}  // NOLINT
+  JsonValue(long long v) : text(std::to_string(v)) {}  // NOLINT
+  JsonValue(unsigned long long v) : text(std::to_string(v)) {}  // NOLINT
+  JsonValue(bool v) : text(v ? "true" : "false") {}  // NOLINT
+  JsonValue(const char* s) : text(quote(s)) {}  // NOLINT
+  JsonValue(const std::string& s) : text(quote(s)) {}  // NOLINT
+
+  static std::string quote(std::string_view s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+};
+
+/// Flat-record benchmark report, written as BENCH_<name>.json so perf
+/// regressions diff numerically instead of scraping stdout tables. Output
+/// lands in $GDMP_BENCH_OUT (default: current directory); scripts/bench.sh
+/// sets it to a collection directory.
+class BenchReport {
+ public:
+  BenchReport(std::string name, bool smoke)
+      : name_(std::move(name)), smoke_(smoke) {}
+  ~BenchReport() { write(); }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void add(std::initializer_list<std::pair<const char*, JsonValue>> fields) {
+    std::string row = "    {";
+    bool first = true;
+    for (const auto& [key, value] : fields) {
+      if (!first) row += ", ";
+      first = false;
+      row += JsonValue::quote(key) + ": " + value.text;
+    }
+    row += '}';
+    rows_.push_back(std::move(row));
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const char* dir = std::getenv("GDMP_BENCH_OUT");
+    const std::string path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+        "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"smoke\": %s,\n  \"results\": [\n",
+                 JsonValue::quote(name_).c_str(), smoke_ ? "true" : "false");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  bool smoke_;
+  bool written_ = false;
+  std::vector<std::string> rows_;
+};
 
 struct WanBenchConfig {
   BitsPerSec wan_bandwidth = 45 * kMbps;

@@ -1,0 +1,147 @@
+// Frozen copy of the pre-optimization event kernel, used only as the
+// baseline side of bench_sim_kernel.
+//
+// This is the kernel as it stood before DESIGN.md §5e: std::function
+// callbacks (heap-allocating once the capture outgrows the ~16-byte
+// small-object buffer), a std::priority_queue with lazy deletion, and two
+// salted hash sets (live/cancelled) consulted on every schedule/cancel/pop.
+// Cancellation leaves a tombstone in the queue that is only drained when its
+// timestamp is reached. Do not use outside the benchmark: it exists so the
+// speedup numbers in README/DESIGN can be re-measured against the exact old
+// semantics instead of against a remembered number.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/det_hash.h"
+#include "common/types.h"
+
+namespace gdmp::bench::legacy {
+
+class Simulator;
+
+/// Legacy handle: just the event's sequence number.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  EventHandle schedule(SimDuration delay, Callback fn) {
+    return schedule_at(delay > 0 ? now_ + delay : now_, std::move(fn));
+  }
+
+  EventHandle schedule_at(SimTime when, Callback fn) {
+    assert(fn && "scheduling a null callback");
+    if (when < now_) when = now_;
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(Entry{when, seq, std::move(fn)});
+    live_.insert(seq);
+    return EventHandle(seq);
+  }
+
+  void cancel(EventHandle handle) {
+    // Only a still-pending event may enter the cancelled set; a fired
+    // handle would never be drained from it.
+    if (handle.id_ != 0 && live_.erase(handle.id_) > 0) {
+      cancelled_.insert(handle.id_);
+    }
+  }
+
+  std::size_t run() {
+    std::size_t count = 0;
+    stop_requested_ = false;
+    Entry entry;
+    while (!stop_requested_ && pop_next(entry)) {
+      now_ = entry.time;
+      ++fired_;
+      ++count;
+      entry.fn();
+    }
+    return count;
+  }
+
+  std::size_t run_until(SimTime deadline) {
+    std::size_t count = 0;
+    stop_requested_ = false;
+    while (!stop_requested_ && !queue_.empty()) {
+      if (queue_.top().time > deadline) break;
+      Entry entry;
+      if (!pop_next(entry) || entry.time > deadline) {
+        if (entry.fn) {
+          live_.insert(entry.seq);
+          queue_.push(std::move(entry));
+        }
+        break;
+      }
+      now_ = entry.time;
+      ++fired_;
+      ++count;
+      entry.fn();
+    }
+    if (now_ < deadline) now_ = deadline;
+    return count;
+  }
+
+  std::size_t pending() const noexcept { return live_.size(); }
+  std::uint64_t events_fired() const noexcept { return fired_; }
+  void request_stop() noexcept { stop_requested_ = true; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Entry& out) {
+    while (!queue_.empty()) {
+      Entry& top = const_cast<Entry&>(queue_.top());
+      const bool skip = cancelled_.erase(top.seq) > 0;
+      if (skip) {
+        queue_.pop();
+        continue;
+      }
+      live_.erase(top.seq);
+      out = std::move(top);
+      queue_.pop();
+      return true;
+    }
+    return false;
+  }
+
+  std::priority_queue<Entry> queue_;
+  common::UnorderedSet<std::uint64_t> live_;
+  common::UnorderedSet<std::uint64_t> cancelled_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace gdmp::bench::legacy

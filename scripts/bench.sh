@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary at full size and collects the machine-readable
+# BENCH_*.json reports (plus the raw stdout tables) in one directory, so
+# perf changes diff numerically across PRs.
+#
+#   scripts/bench.sh                 # all benches -> bench_results/
+#   scripts/bench.sh out_dir         # all benches -> out_dir/
+#   scripts/bench.sh out_dir bench_sim_kernel bench_fig6_tuned   # a subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench_results}"
+[ $# -gt 0 ] && shift
+mkdir -p "$out"
+
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+  benches=(
+    bench_sim_kernel
+    bench_fig5_untuned
+    bench_fig6_tuned
+    bench_buffer_sweep
+    bench_object_vs_file
+    bench_copier_overhead
+    bench_staging
+    bench_replica_catalog
+    bench_pipeline
+    bench_scheduler
+    bench_obs_overhead
+  )
+fi
+
+cmake --preset default >/dev/null
+cmake --build build -j "$(nproc)" >/dev/null
+
+for bench in "${benches[@]}"; do
+  echo "==> ${bench}"
+  GDMP_BENCH_OUT="$out" "./build/bench/${bench}" | tee "$out/${bench}.txt"
+done
+
+# google-benchmark microbenches emit their own JSON schema.
+echo "==> bench_micro"
+./build/bench/bench_micro --benchmark_format=json >"$out/BENCH_micro.json"
+
+echo "==> reports in $out/:"
+ls "$out"

@@ -6,9 +6,11 @@
 #               tools/gdmp_lint/layers.conf) + clang-tidy when available
 #               (scripts/tidy.sh skips cleanly when not).
 #   2. build + test the default, asan and ubsan presets.
-#   3. trace export smoke test (observability example -> Chrome trace_event
+#   3. bench smoke — every bench binary runs one tiny --smoke iteration
+#      (ctest label bench_smoke) so the perf harnesses cannot bit-rot.
+#   4. trace export smoke test (observability example -> Chrome trace_event
 #      JSON -> trace_check validates the replication span chain).
-#   4. determinism check — scheduler (observability) and object-replication
+#   5. determinism check — scheduler (observability) and object-replication
 #      (hep_analysis) workloads must produce byte-identical output across
 #      two same-seed runs, and again with --hash-perturb, where the two
 #      runs get different GDMP_HASH_SEED salts scrambling every unordered
@@ -45,6 +47,9 @@ for preset in "${presets[@]}"; do
 done
 
 if [ "$smoke" -eq 1 ]; then
+  echo "==> bench smoke (one tiny iteration of every bench binary)"
+  ctest --preset bench-smoke
+
   echo "==> trace export smoke test"
   trace_file="$(mktemp /tmp/gdmp-trace.XXXXXX.json)"
   trap 'rm -f "$trace_file"' EXIT

@@ -1,23 +1,38 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace gdmp {
 namespace {
 
 constexpr std::uint32_t kPoly = 0xedb88320u;  // reflected IEEE 802.3
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8 (Intel's 2006 technique): kTables[0] is the classic byte
+// table; kTables[k][b] is the CRC of byte b followed by k zero bytes, so
+// eight input bytes fold into the state with eight independent table reads
+// and two XOR trees — ~5-6x the per-byte loop on the control-plane volumes
+// the Data Mover re-checks (§4.3).
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xffu] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
 }
 
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
+constexpr const auto& kTable = kTables[0];
 
 /// Deterministic content byte for a synthetic file stream.
 constexpr std::uint8_t synthetic_byte(std::uint64_t seed,
@@ -32,8 +47,25 @@ constexpr std::uint8_t synthetic_byte(std::uint64_t seed,
 
 void Crc32::update(std::span<const std::uint8_t> data) noexcept {
   std::uint32_t c = state_;
-  for (const std::uint8_t byte : data) {
-    c = kTable[(c ^ byte) & 0xffu] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = kTables[7][lo & 0xffu] ^ kTables[6][(lo >> 8) & 0xffu] ^
+          kTables[5][(lo >> 16) & 0xffu] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
+          kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  for (; n > 0; ++p, --n) {
+    c = kTable[(c ^ *p) & 0xffu] ^ (c >> 8);
   }
   state_ = c;
 }

@@ -32,8 +32,13 @@ void CbrSource::arm() {
   if (config_.jitter > 0) {
     gap_s *= rng_.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
   }
+  // Steady state: arm() runs inside the previous shot's callback, so
+  // reschedule() re-arms the same event slot — one persistent closure for
+  // the whole packet train.
+  const SimDuration gap = from_seconds(gap_s);
+  if (network_.simulator().reschedule(pending_, gap)) return;
   std::weak_ptr<bool> alive = alive_;
-  pending_ = network_.simulator().schedule(from_seconds(gap_s), [this, alive] {
+  pending_ = network_.simulator().schedule(gap, [this, alive] {
     if (alive.expired() || !running_) return;
     Packet packet;
     packet.src = src_.id();

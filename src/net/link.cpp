@@ -25,15 +25,20 @@ bool Link::enqueue(const Packet& packet) {
   busy_until_ = done;
 
   // The packet stops occupying queue space once fully serialized, and
-  // arrives one propagation delay later.
+  // arrives one propagation delay later. The packet itself waits in
+  // in_flight_ (see link.h) so both closures fit the kernel's inline
+  // buffer — the per-packet path allocates nothing.
   std::weak_ptr<bool> alive = alive_;
   simulator_.schedule_at(done, [this, alive, size] {
     if (alive.expired()) return;
     backlog_ -= size;
   });
-  simulator_.schedule_at(done + config_.propagation, [this, alive, packet] {
+  in_flight_.push_back(packet);
+  simulator_.schedule_at(done + config_.propagation, [this, alive] {
     if (alive.expired()) return;
-    deliver_(packet);
+    const Packet arrived = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    deliver_(arrived);
   });
   return true;
 }

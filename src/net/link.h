@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <memory>
 
 #include "common/types.h"
@@ -32,7 +32,9 @@ struct LinkStats {
 
 class Link {
  public:
-  using Deliver = std::function<void(const Packet&)>;
+  /// Inline callable: link delivery is the per-packet fast path, so the
+  /// receive hook must not cost a heap-backed std::function.
+  using Deliver = sim::InlineFunction<void(const Packet&), 64>;
 
   Link(sim::Simulator& simulator, LinkConfig config, Deliver deliver);
 
@@ -57,6 +59,12 @@ class Link {
   LinkStats stats_;
   Bytes backlog_ = 0;
   SimTime busy_until_ = 0;  // when the transmitter becomes idle
+  /// Packets serialized but not yet delivered. Kept here (FIFO — delivery
+  /// times are monotone: serialization completions are ordered and the
+  /// propagation delay is constant) so the delivery events capture only
+  /// {this, guard} and stay inside the kernel's inline buffer instead of
+  /// hauling a ~140-byte Packet into a heap-allocated closure.
+  std::deque<Packet> in_flight_;
   /// Liveness sentinel: serialization/propagation completions can still be
   /// queued in the simulator when a topology is torn down mid-run.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -8,19 +8,20 @@
 #pragma once
 
 #include <array>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "net/link.h"
 #include "net/packet.h"
+#include "sim/inline_function.h"
 
 namespace gdmp::net {
 
 class Node {
  public:
-  using PacketHandler = std::function<void(const Packet&)>;
+  /// Inline callable: invoked once per delivered packet (fast path).
+  using PacketHandler = sim::InlineFunction<void(const Packet&), 64>;
 
   Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
 

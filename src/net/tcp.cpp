@@ -609,7 +609,12 @@ void TcpConnection::retransmit_head() {
 }
 
 void TcpConnection::arm_rto() {
-  cancel_rto();
+  // Fast path: every ack re-arms the RTO. reschedule() re-keys the pending
+  // event in place — the closure and its weak guard persist across re-arms
+  // (and across fires, when on_rto re-arms from inside the callback), so the
+  // dominant schedule-RTO/cancel-on-ack churn costs one heap sift and no
+  // allocations.
+  if (stack_.simulator().reschedule(rto_timer_, rto_)) return;
   std::weak_ptr<TcpConnection> weak = weak_from_this();
   rto_timer_ = stack_.simulator().schedule(rto_, [weak] {
     if (auto self = weak.lock()) self->on_rto();

@@ -1,0 +1,167 @@
+// Move-only small-buffer callable for the simulation fast path.
+//
+// The kernel fires millions of events per simulated transfer; wrapping every
+// callback in std::function costs a heap allocation whenever the capture
+// exceeds the (implementation-defined, typically 16-byte) small-object
+// buffer. InlineFunction reserves a caller-chosen inline buffer — 64 bytes
+// for kernel callbacks, enough for `this` + a weak liveness guard + a few
+// integers — so the steady-state event path never touches the heap.
+// Callables that do not fit fall back to a single heap cell, preserving
+// std::function's generality for cold paths (stager completions carrying
+// strings, bulk RPC closures).
+//
+// Contract:
+//  * move-only (no copy): a callback is scheduled exactly once, so copyable
+//    wrappers pay for shared ownership nobody uses;
+//  * invoking an empty InlineFunction is undefined (asserted in debug);
+//  * moved-from objects are empty and safely destructible/reassignable.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace gdmp::sim {
+
+template <typename Signature, std::size_t BufferSize = 64>
+class InlineFunction;  // primary template never defined
+
+template <typename R, typename... Args, std::size_t BufferSize>
+class InlineFunction<R(Args...), BufferSize> {
+  static_assert(BufferSize >= sizeof(void*),
+                "buffer must hold at least the heap-fallback pointer");
+
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buffer_, buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InlineFunction& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking an empty InlineFunction");
+    return ops_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+  /// True when the wrapped callable lives in the inline buffer (no heap).
+  bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->stored_inline;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    // Move-construct the callable at `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool stored_inline;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= BufferSize && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](void* buf, Args&&... args) -> R {
+        return (*static_cast<F*>(buf))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        F* from = static_cast<F*>(src);
+        // gdmp-lint: owned-new (placement new into the inline buffer; no heap, RAII-managed)
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* buf) noexcept { static_cast<F*>(buf)->~F(); },
+      /*stored_inline=*/true,
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](void* buf, Args&&... args) -> R {
+        return (**static_cast<F**>(buf))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        *static_cast<F**>(dst) = *static_cast<F**>(src);
+      },
+      [](void* buf) noexcept {
+        // gdmp-lint: owned-delete (sole owner of the spilled callable; relocate transfers ownership)
+        delete *static_cast<F**>(buf);
+      },
+      /*stored_inline=*/false,
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Decayed = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Decayed>()) {
+      // gdmp-lint: owned-new (placement new into the inline buffer; no heap, RAII-managed)
+      ::new (static_cast<void*>(buffer_)) Decayed(std::forward<F>(f));
+      ops_ = &kInlineOps<Decayed>;
+    } else {
+      *reinterpret_cast<Decayed**>(buffer_) =
+          std::make_unique<Decayed>(std::forward<F>(f)).release();
+      ops_ = &kHeapOps<Decayed>;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[BufferSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gdmp::sim

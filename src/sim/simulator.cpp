@@ -7,48 +7,33 @@ namespace gdmp::sim {
 EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
   assert(fn && "scheduling a null callback");
   if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{when, seq, std::move(fn)});
-  live_.insert(seq);
-  return EventHandle(seq);
+  return heap_.push(when, next_seq_++, std::move(fn));
 }
 
-void Simulator::cancel(EventHandle handle) {
-  // Only a still-pending event can be cancelled; a handle to a fired event
-  // must not poison the cancelled set (it would never be drained).
-  if (handle.id_ != 0 && live_.erase(handle.id_) > 0) {
-    cancelled_.insert(handle.id_);
-  }
+void Simulator::cancel(EventHandle handle) { heap_.cancel(handle); }
+
+bool Simulator::reschedule_at(EventHandle handle, SimTime when) {
+  if (when < now_) when = now_;
+  // The fresh sequence number preserves the FIFO tie-break semantics of a
+  // cancel+schedule pair: a rescheduled event fires after events already
+  // scheduled at the same timestamp.
+  return heap_.reschedule(handle, when, next_seq_++);
 }
 
-bool Simulator::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the callback must be moved out, so we
-    // const_cast the node we are about to pop. Safe: pop() immediately
-    // removes it and no comparison uses `fn`.
-    Entry& top = const_cast<Entry&>(queue_.top());
-    const bool skip = cancelled_.erase(top.seq) > 0;
-    if (skip) {
-      queue_.pop();
-      continue;
-    }
-    live_.erase(top.seq);
-    out = std::move(top);
-    queue_.pop();
-    return true;
-  }
-  return false;
+void Simulator::fire_next() {
+  const auto top = heap_.pop_firing();
+  now_ = top.time;
+  ++fired_;
+  heap_.firing_fn()();
+  heap_.finish_firing();
 }
 
 std::size_t Simulator::run() {
   std::size_t count = 0;
   stop_requested_ = false;
-  Entry entry;
-  while (!stop_requested_ && pop_next(entry)) {
-    now_ = entry.time;
-    ++fired_;
+  while (!stop_requested_ && !heap_.empty()) {
+    fire_next();
     ++count;
-    entry.fn();
   }
   return count;
 }
@@ -56,39 +41,23 @@ std::size_t Simulator::run() {
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t count = 0;
   stop_requested_ = false;
-  while (!stop_requested_ && !queue_.empty()) {
-    if (queue_.top().time > deadline) break;
-    Entry entry;
-    if (!pop_next(entry) || entry.time > deadline) {
-      // pop_next may have drained cancelled entries past the deadline; if the
-      // popped event is late, re-schedule it untouched (same seq, so any
-      // outstanding handle to it stays valid).
-      if (entry.fn) {
-        live_.insert(entry.seq);
-        queue_.push(std::move(entry));
-      }
-      break;
-    }
-    now_ = entry.time;
-    ++fired_;
+  while (!stop_requested_ && !heap_.empty() &&
+         heap_.peek().time <= deadline) {
+    fire_next();
     ++count;
-    entry.fn();
   }
   if (now_ < deadline) now_ = deadline;
   return count;
 }
 
 bool Simulator::step() {
-  Entry entry;
-  if (!pop_next(entry)) return false;
-  now_ = entry.time;
-  ++fired_;
-  entry.fn();
+  if (heap_.empty()) return false;
+  fire_next();
   return true;
 }
 
 PeriodicTimer::PeriodicTimer(Simulator& simulator, SimDuration period,
-                             std::function<void()> tick)
+                             Callback tick)
     : simulator_(simulator), period_(period), tick_(std::move(tick)) {
   assert(period_ > 0);
   assert(tick_);
@@ -110,8 +79,13 @@ void PeriodicTimer::stop() {
 }
 
 void PeriodicTimer::arm() {
-  // The timer may be destroyed while an event is in flight; the weak alive
-  // flag keeps the callback from touching a dead object.
+  // Re-arm in place: when called from within the tick event's own callback
+  // (the steady state), this keeps the slot, the closure and the weak guard
+  // alive across fires — no per-tick construction at all.
+  if (simulator_.reschedule(pending_, period_)) return;
+  // First arm after start(): the timer may be destroyed while an event is
+  // in flight; the weak alive flag keeps the callback from touching a dead
+  // object.
   std::weak_ptr<bool> alive = alive_;
   pending_ = simulator_.schedule(period_, [this, alive] {
     if (alive.expired() || !running_) return;

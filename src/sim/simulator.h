@@ -5,35 +5,31 @@
 // The kernel is single-threaded and fully deterministic: events with equal
 // timestamps fire in scheduling order (FIFO tie-break by sequence number),
 // so a given seed always produces byte-identical traces.
+//
+// Fast path (see DESIGN.md §5e): callbacks are InlineFunction<void(), 64> —
+// typical captures (`this`, a weak liveness guard, a few ints) live in the
+// event slot, never on the heap — and the queue is an index-tracked 4-ary
+// min-heap (event_heap.h) with O(log n) in-place cancellation and a fused
+// cancel+schedule (`reschedule`) for re-arm patterns such as the TCP RTO
+// timer. Steady-state schedule/fire/cancel/reschedule perform zero heap
+// allocations (pinned by a regression test).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <vector>
 
-#include "common/det_hash.h"
 #include "common/types.h"
+#include "sim/event_heap.h"
+#include "sim/inline_function.h"
 
 namespace gdmp::sim {
 
-/// Identifies a scheduled event so it can be cancelled before it fires.
-class EventHandle {
- public:
-  EventHandle() = default;
-
-  bool valid() const noexcept { return id_ != 0; }
-
- private:
-  friend class Simulator;
-  explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
-  std::uint64_t id_ = 0;
-};
+/// Kernel callback type; also used by subsystems (disk completions, stager
+/// queues) whose closures feed the kernel unchanged.
+using Callback = InlineFunction<void(), 64>;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -51,8 +47,22 @@ class Simulator {
   EventHandle schedule_at(SimTime when, Callback fn);
 
   /// Cancels a pending event. Idempotent; cancelling a fired or invalid
-  /// handle is a no-op.
+  /// handle is a no-op. Cancelling the currently executing event suppresses
+  /// a pending reschedule() of it.
   void cancel(EventHandle handle);
+
+  /// Fused cancel+schedule: moves a pending event to `delay` from now,
+  /// keeping its callback and handle (the event takes a fresh FIFO sequence
+  /// number, as a cancel+schedule pair would). May be called from within the
+  /// event's own callback to re-arm it — the callback object persists across
+  /// fires. Returns false (and does nothing) if the handle is invalid,
+  /// already fired, or cancelled; the caller then schedules afresh.
+  bool reschedule(EventHandle handle, SimDuration delay) {
+    return reschedule_at(handle, delay > 0 ? now_ + delay : now_);
+  }
+
+  /// reschedule() with an absolute target time (clamped to `now()`).
+  bool reschedule_at(EventHandle handle, SimTime when);
 
   /// Runs events until the queue empties. Returns the number fired.
   std::size_t run();
@@ -65,7 +75,7 @@ class Simulator {
   bool step();
 
   /// Pending (non-cancelled) event count.
-  std::size_t pending() const noexcept { return live_.size(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
 
   /// Total events fired since construction.
   std::uint64_t events_fired() const noexcept { return fired_; }
@@ -74,23 +84,10 @@ class Simulator {
   void request_stop() noexcept { stop_requested_ = true; }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // FIFO tie-break and cancellation key
-    Callback fn;
+  /// Pops and executes the minimum event (advancing the clock to it).
+  void fire_next();
 
-    // priority_queue is a max-heap; invert so the earliest event wins.
-    friend bool operator<(const Entry& a, const Entry& b) noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  bool pop_next(Entry& out);
-
-  std::priority_queue<Entry> queue_;
-  common::UnorderedSet<std::uint64_t> live_;       // scheduled, not yet fired/cancelled
-  common::UnorderedSet<std::uint64_t> cancelled_;  // cancelled, still in queue_
+  EventHeap<Callback> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
@@ -99,10 +96,12 @@ class Simulator {
 
 /// Repeating timer built on the kernel; used for periodic monitoring,
 /// retry loops and cross-traffic sources. Cancels itself on destruction.
+/// Re-arms via Simulator::reschedule, so one persistent callback (and one
+/// weak liveness guard) serves every tick — the steady state allocates
+/// nothing.
 class PeriodicTimer {
  public:
-  PeriodicTimer(Simulator& simulator, SimDuration period,
-                std::function<void()> tick);
+  PeriodicTimer(Simulator& simulator, SimDuration period, Callback tick);
   ~PeriodicTimer();
 
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -117,7 +116,7 @@ class PeriodicTimer {
 
   Simulator& simulator_;
   SimDuration period_;
-  std::function<void()> tick_;
+  Callback tick_;
   EventHandle pending_;
   bool running_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

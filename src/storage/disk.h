@@ -8,8 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 
 #include "common/types.h"
 #include "sim/simulator.h"
@@ -29,7 +27,9 @@ struct DiskStats {
 
 class Disk {
  public:
-  using Done = std::function<void()>;
+  /// Completion callback: an inline callable, so per-operation completions
+  /// with ordinary captures never heap-allocate on the disk fast path.
+  using Done = sim::Callback;
 
   Disk(sim::Simulator& simulator, DiskConfig config)
       : simulator_(simulator), config_(config) {}

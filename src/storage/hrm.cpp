@@ -4,43 +4,41 @@ namespace gdmp::storage {
 
 void HrmBackend::stage_to_disk(const std::string& path, DiskPool& pool,
                                StageCallback done) {
-  simulator_.schedule(
+  pending_.schedule(
       rpc_overhead_,
-      [this, alive = std::weak_ptr<bool>(alive_), path, &pool,
-       done = std::move(done)]() mutable {
-        if (alive.expired()) return;
+      // gdmp-lint: owned-callback (closure owned by pending_, a member destroyed with *this)
+      [this, path, &pool, done = std::move(done)]() mutable {
         mss_.stage(path, pool, std::move(done));
       });
 }
 
 void HrmBackend::archive_file(const FileInfo& info, ArchiveCallback done) {
-  simulator_.schedule(rpc_overhead_,
-                      [this, alive = std::weak_ptr<bool>(alive_), info,
-                       done = std::move(done)]() mutable {
-                        if (alive.expired()) return;
-                        mss_.archive(info, std::move(done));
-                      });
+  pending_.schedule(
+      rpc_overhead_,
+      // gdmp-lint: owned-callback (closure owned by pending_, a member destroyed with *this)
+      [this, info, done = std::move(done)]() mutable {
+        mss_.archive(info, std::move(done));
+      });
 }
 
 void ScriptStagerBackend::stage_to_disk(const std::string& path,
                                         DiskPool& pool, StageCallback done) {
-  simulator_.schedule(
+  pending_.schedule(
       spawn_latency_,
-      [this, alive = std::weak_ptr<bool>(alive_), path, &pool,
-       done = std::move(done)]() mutable {
-        if (alive.expired()) return;
+      // gdmp-lint: owned-callback (closure owned by pending_, a member destroyed with *this)
+      [this, path, &pool, done = std::move(done)]() mutable {
         mss_.stage(path, pool, std::move(done));
       });
 }
 
 void ScriptStagerBackend::archive_file(const FileInfo& info,
                                        ArchiveCallback done) {
-  simulator_.schedule(spawn_latency_,
-                      [this, alive = std::weak_ptr<bool>(alive_), info,
-                       done = std::move(done)]() mutable {
-                        if (alive.expired()) return;
-                        mss_.archive(info, std::move(done));
-                      });
+  pending_.schedule(
+      spawn_latency_,
+      // gdmp-lint: owned-callback (closure owned by pending_, a member destroyed with *this)
+      [this, info, done = std::move(done)]() mutable {
+        mss_.archive(info, std::move(done));
+      });
 }
 
 }  // namespace gdmp::storage

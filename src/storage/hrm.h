@@ -14,6 +14,7 @@
 #include <string>
 
 #include "sim/simulator.h"
+#include "sim/timer_queue.h"
 #include "storage/mss.h"
 
 namespace gdmp::storage {
@@ -38,7 +39,10 @@ class HrmBackend final : public StorageBackend {
  public:
   HrmBackend(sim::Simulator& simulator, MassStorageSystem& mss,
              SimDuration rpc_overhead = 5 * kMillisecond)
-      : simulator_(simulator), mss_(mss), rpc_overhead_(rpc_overhead) {}
+      : simulator_(simulator),
+        mss_(mss),
+        rpc_overhead_(rpc_overhead),
+        pending_(simulator) {}
 
   void stage_to_disk(const std::string& path, DiskPool& pool,
                      StageCallback done) override;
@@ -52,8 +56,9 @@ class HrmBackend final : public StorageBackend {
   sim::Simulator& simulator_;
   MassStorageSystem& mss_;
   SimDuration rpc_overhead_;  // one CORBA round trip per request
-  /// Liveness sentinel: the RPC-delay events must not touch a dead backend.
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// All in-flight RPC-delay completions share one re-armed kernel timer;
+  /// the queue owns the request closures and silences them on teardown.
+  sim::TimerQueue pending_;
 };
 
 /// Staging-script plug-in: each request forks an external stager process
@@ -62,7 +67,10 @@ class ScriptStagerBackend final : public StorageBackend {
  public:
   ScriptStagerBackend(sim::Simulator& simulator, MassStorageSystem& mss,
                       SimDuration spawn_latency = 400 * kMillisecond)
-      : simulator_(simulator), mss_(mss), spawn_latency_(spawn_latency) {}
+      : simulator_(simulator),
+        mss_(mss),
+        spawn_latency_(spawn_latency),
+        pending_(simulator) {}
 
   void stage_to_disk(const std::string& path, DiskPool& pool,
                      StageCallback done) override;
@@ -76,8 +84,9 @@ class ScriptStagerBackend final : public StorageBackend {
   sim::Simulator& simulator_;
   MassStorageSystem& mss_;
   SimDuration spawn_latency_;
-  /// Liveness sentinel: the spawn-delay events must not touch a dead backend.
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// All spawn-delay completions share one re-armed kernel timer; the queue
+  /// owns the request closures and silences them on teardown.
+  sim::TimerQueue pending_;
 };
 
 }  // namespace gdmp::storage

@@ -7,7 +7,7 @@ namespace gdmp::storage {
 
 MassStorageSystem::MassStorageSystem(sim::Simulator& simulator,
                                      MssConfig config)
-    : simulator_(simulator), config_(config) {
+    : simulator_(simulator), config_(config), completions_(simulator) {
   assert(config_.tape_drives > 0);
   drive_busy_until_.assign(static_cast<std::size_t>(config_.tape_drives), 0);
 }
@@ -24,10 +24,10 @@ void MassStorageSystem::archive(const FileInfo& info, ArchiveCallback done) {
   ++stats_.archives;
   FileInfo copy = info;
   copy.pinned = false;
-  simulator_.schedule_at(
-      *drive_it, [this, alive = std::weak_ptr<bool>(alive_),
-                  copy = std::move(copy), done = std::move(done)] {
-        if (alive.expired()) return;
+  completions_.schedule_at(
+      *drive_it,
+      // gdmp-lint: owned-callback (closure owned by completions_, a member destroyed with *this)
+      [this, copy = std::move(copy), done = std::move(done)] {
         auto result = archive_.create(copy.path, copy.size, copy.content_seed,
                                       simulator_.now(), /*replace=*/true);
         done(result.is_ok() ? Status::ok() : result.status());
@@ -78,11 +78,10 @@ void MassStorageSystem::run_stage(int drive, StageRequest request) {
   stats_.total_stage_time += wait + service;
 
   const FileInfo file = *archived;
-  simulator_.schedule_at(
+  completions_.schedule_at(
       drive_busy_until_[drive],
-      [this, alive = std::weak_ptr<bool>(alive_), file,
-       request = std::move(request)]() mutable {
-        if (alive.expired()) return;
+      // gdmp-lint: owned-callback (closure owned by completions_, a member destroyed with *this)
+      [this, file, request = std::move(request)]() mutable {
         auto result = request.pool->add_file(file.path, file.size,
                                              file.content_seed,
                                              simulator_.now(),

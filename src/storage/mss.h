@@ -17,6 +17,7 @@
 
 #include "common/result.h"
 #include "sim/simulator.h"
+#include "sim/timer_queue.h"
 #include "storage/disk_pool.h"
 #include "storage/file_system.h"
 
@@ -83,9 +84,11 @@ class MassStorageSystem {
   std::vector<SimTime> drive_busy_until_;
   std::deque<StageRequest> queue_;
   MssStats stats_;
-  /// Liveness sentinel: tape-drive completion events scheduled far in the
-  /// future must fall silent if the MSS is torn down first.
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// All drive completions share one kernel timer (re-armed in place); the
+  /// fat completion closures — paths, FileInfo, result callbacks — stay in
+  /// the queue's own storage, off the kernel fast path. The queue's liveness
+  /// sentinel also covers MSS teardown with mounts still in flight.
+  sim::TimerQueue completions_;
 };
 
 }  // namespace gdmp::storage

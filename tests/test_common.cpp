@@ -132,6 +132,55 @@ TEST(Crc32, SyntheticDependsOnSeedOffsetAndLength) {
   EXPECT_EQ(base, crc32_synthetic(1, 0, 10000));
 }
 
+TEST(Crc32, GoldenVectors) {
+  // Pin the slice-by-8 path against independently known CRC-32 values so a
+  // table or combination bug cannot slip through as "self-consistent".
+  const auto of_string = [](std::string_view s) {
+    return crc32(std::span(reinterpret_cast<const std::uint8_t*>(s.data()),
+                           s.size()));
+  };
+  EXPECT_EQ(of_string(""), 0x00000000u);
+  EXPECT_EQ(of_string("a"), 0xE8B7BE43u);
+  EXPECT_EQ(of_string("abc"), 0x352441C2u);
+  EXPECT_EQ(of_string("message digest"), 0x20159D7Fu);
+  EXPECT_EQ(of_string("abcdefghijklmnopqrstuvwxyz"), 0x4C2750BDu);
+  EXPECT_EQ(of_string("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                      "0123456789"),
+            0x1FC2E6D2u);
+  // 256 zero bytes (exercises several full 8-byte strides).
+  const std::vector<std::uint8_t> zeros(256, 0);
+  EXPECT_EQ(crc32(zeros), 0x0D968558u);
+}
+
+TEST(Crc32, SliceBy8MatchesBytewiseReferenceOnAllSplits) {
+  // Reference per-byte implementation, independent of the production tables.
+  const auto reference = [](std::span<const std::uint8_t> data) {
+    std::uint32_t c = 0xffffffffu;
+    for (const std::uint8_t byte : data) {
+      c ^= byte;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+    }
+    return c ^ 0xffffffffu;
+  };
+  std::vector<std::uint8_t> data(1027);  // odd length: strided body + tail
+  std::uint32_t x = 0x12345678u;
+  for (auto& byte : data) {
+    x = x * 1664525u + 1013904223u;  // deterministic LCG fill
+    byte = static_cast<std::uint8_t>(x >> 24);
+  }
+  EXPECT_EQ(crc32(data), reference(data));
+  // Every chunking must agree: misaligned heads force the bytewise
+  // prologue/epilogue around the 8-byte strides.
+  for (const std::size_t split : {1u, 3u, 7u, 8u, 9u, 63u, 512u, 1026u}) {
+    Crc32 crc;
+    crc.update(std::span(data.data(), split));
+    crc.update(std::span(data.data() + split, data.size() - split));
+    EXPECT_EQ(crc.value(), reference(data)) << "split=" << split;
+  }
+}
+
 TEST(Crc32, SyntheticIncrementalConsistency) {
   Crc32 a;
   a.update_synthetic(99, 0, 8192);

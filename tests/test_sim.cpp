@@ -114,6 +114,130 @@ TEST(Simulator, RequestStopHaltsRun) {
   EXPECT_EQ(simulator.pending(), 1u);
 }
 
+TEST(Simulator, EqualTimesWithInterleavedCancelsKeepFifoOrder) {
+  // Golden sequence: ten same-timestamp events, every third cancelled before
+  // the clock reaches them. The survivors must still fire in scheduling
+  // order — in-place heap removal must not disturb the FIFO tie-break.
+  Simulator simulator;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  handles.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(simulator.schedule(5, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 10; i += 3) simulator.cancel(handles[i]);
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 7, 8}));
+}
+
+TEST(Simulator, CancelDuringCallbackOfSameTimeEvent) {
+  // Event A cancels event B scheduled at the same timestamp. B is already
+  // in the heap (behind A in FIFO order) and must not fire.
+  Simulator simulator;
+  std::vector<int> order;
+  EventHandle b;
+  simulator.schedule(10, [&] {
+    order.push_back(1);
+    simulator.cancel(b);
+  });
+  b = simulator.schedule(10, [&] { order.push_back(2); });
+  simulator.schedule(10, [&] { order.push_back(3); });
+  EXPECT_EQ(simulator.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilWithCancelledHeadPastDeadline) {
+  // The earliest pending event is cancelled and the next live one lies past
+  // the deadline: run_until must fire nothing and stop exactly at the
+  // deadline (the cancelled head must not be mistaken for work).
+  Simulator simulator;
+  bool fired = false;
+  const EventHandle head = simulator.schedule(10, [&] { fired = true; });
+  simulator.schedule(100, [&] { fired = true; });
+  simulator.cancel(head);
+  EXPECT_EQ(simulator.run_until(50), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(simulator.now(), 50);
+  EXPECT_EQ(simulator.pending(), 1u);
+}
+
+TEST(Simulator, RescheduleMovesEventEarlierAndLater) {
+  Simulator simulator;
+  std::vector<SimTime> fired_at;
+  const EventHandle later = simulator.schedule(10, [&] {
+    fired_at.push_back(simulator.now());
+  });
+  EXPECT_TRUE(simulator.reschedule_at(later, 40));  // push back
+  const EventHandle earlier = simulator.schedule(30, [&] {
+    fired_at.push_back(simulator.now());
+  });
+  EXPECT_TRUE(simulator.reschedule_at(earlier, 5));  // pull forward
+  simulator.run();
+  EXPECT_EQ(fired_at, (std::vector<SimTime>{5, 40}));
+}
+
+TEST(Simulator, RescheduleOfStaleHandleReturnsFalse) {
+  Simulator simulator;
+  int count = 0;
+  const EventHandle fired = simulator.schedule(1, [&] { ++count; });
+  simulator.run();
+  EXPECT_FALSE(simulator.reschedule(fired, 10));
+  const EventHandle cancelled = simulator.schedule(1, [&] { ++count; });
+  simulator.cancel(cancelled);
+  EXPECT_FALSE(simulator.reschedule(cancelled, 10));
+  EXPECT_FALSE(simulator.reschedule(EventHandle{}, 10));
+  simulator.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, RescheduledEventTakesFreshFifoSequence) {
+  // Rescheduling onto an occupied timestamp must behave exactly like a
+  // cancel+schedule pair: the moved event goes behind events already
+  // scheduled at that time.
+  Simulator simulator;
+  std::vector<int> order;
+  const EventHandle moved = simulator.schedule(5, [&] { order.push_back(1); });
+  simulator.schedule(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(simulator.reschedule_at(moved, 20));
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Simulator, RescheduleFromOwnCallbackReArms) {
+  // The RTO/PeriodicTimer pattern: an event re-arms itself from inside its
+  // own callback; the callback object must persist across fires.
+  Simulator simulator;
+  int fires = 0;
+  EventHandle handle;
+  handle = simulator.schedule(10, [&] {
+    ++fires;
+    if (fires < 3) {
+      EXPECT_TRUE(simulator.reschedule(handle, 10));
+    }
+  });
+  simulator.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(simulator.now(), 30);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
+TEST(Simulator, CancelOfFiringEventSuppressesSelfRearm) {
+  // An outer actor cancels the firing event from inside its callback (via a
+  // nested call chain in production; directly here). A reschedule issued in
+  // the same callback before the cancel must not survive.
+  Simulator simulator;
+  int fires = 0;
+  EventHandle handle;
+  handle = simulator.schedule(10, [&] {
+    ++fires;
+    EXPECT_TRUE(simulator.reschedule(handle, 10));
+    simulator.cancel(handle);  // teardown wins over the re-arm
+  });
+  simulator.run_until(1000);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(simulator.pending(), 0u);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator simulator;
   SimTime last = -1;

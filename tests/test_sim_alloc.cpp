@@ -1,0 +1,198 @@
+// Zero-allocation regression tests for the simulation kernel (DESIGN.md §5e).
+//
+// The fast-path claim is that steady-state schedule/fire/cancel/reschedule
+// performs no heap allocation as long as callbacks fit InlineFunction's
+// 64-byte buffer. This binary pins that claim by replacing the global
+// operator new with a counting version and asserting the count does not
+// move across a measured region. It is a separate test binary because the
+// replacement is program-wide and must not leak into the main suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "sim/simulator.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // gdmp-lint: owned-new (global operator new replacement for the counting test)
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*) : alignment,
+                     size == 0 ? alignment : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace gdmp::sim {
+namespace {
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+// Production-sized capture: `this`-style pointer plus a guard and two ints —
+// 32 bytes, comfortably inside the 64-byte inline buffer but beyond
+// std::function's typical small-object optimisation.
+struct Payload {
+  std::uint64_t guard;
+  std::uint64_t id;
+  std::uint64_t bytes;
+};
+
+TEST(InlineFunctionAlloc, InlineCaptureAllocatesNothing) {
+  std::uint64_t sink = 0;
+  const Payload payload{1, 2, 3};
+  const std::uint64_t before = allocation_count();
+  InlineFunction<void(), 64> fn([&sink, payload] { sink += payload.id; });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  InlineFunction<void(), 64> moved = std::move(fn);
+  moved();
+  moved.reset();
+  EXPECT_EQ(allocation_count(), before);
+  EXPECT_EQ(sink, 4u);
+}
+
+TEST(InlineFunctionAlloc, OversizedCaptureFallsBackToOneHeapCell) {
+  std::uint64_t sink = 0;
+  struct Big {
+    std::uint64_t words[12];  // 96 bytes: exceeds the 64-byte buffer
+  };
+  const Big big{{7}};
+  const std::uint64_t before = allocation_count();
+  InlineFunction<void(), 64> fn([&sink, big] { sink += big.words[0]; });
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(allocation_count(), before + 1);
+  fn();
+  // Moves of a spilled callable shuffle the pointer, never reallocate.
+  InlineFunction<void(), 64> moved = std::move(fn);
+  moved();
+  EXPECT_EQ(allocation_count(), before + 1);
+  EXPECT_EQ(sink, 14u);
+}
+
+// Self-perpetuating hold model: a fixed working set of pending events where
+// every fire schedules one successor. After a warmup pass has grown the
+// heap vector and slot table to their steady-state footprint, running
+// thousands more events must allocate exactly nothing.
+struct Hold {
+  Simulator& sim;
+  std::int64_t to_schedule;
+  std::uint64_t sink = 0;
+  std::uint32_t x = 0x2545f491u;
+
+  void fire(const Payload& payload) {
+    sink += payload.id;
+    if (to_schedule <= 0) return;
+    --to_schedule;
+    x = x * 1664525u + 1013904223u;
+    const Payload next{payload.guard, payload.id + 1, x};
+    sim.schedule(static_cast<SimDuration>(x % 100 + 1),
+                 [this, next] { fire(next); });
+  }
+};
+
+TEST(SimulatorAlloc, SteadyStateScheduleFireAllocatesNothing) {
+  Simulator sim;
+  constexpr int kWorkingSet = 64;
+  Hold hold{sim, /*to_schedule=*/20'000};
+  for (int i = 0; i < kWorkingSet; ++i) {
+    hold.fire(Payload{0xabc, static_cast<std::uint64_t>(i), 0});
+  }
+  // Warmup: fire a quarter of the budget so every container reaches its
+  // steady-state capacity (heap vector, slot table, free list).
+  while (sim.events_fired() < 5'000 && sim.step()) {
+  }
+  const std::uint64_t before = allocation_count();
+  sim.run();
+  EXPECT_EQ(allocation_count(), before);
+  EXPECT_EQ(sim.events_fired(), 20'000u);
+  EXPECT_GT(hold.sink, 0u);
+}
+
+TEST(SimulatorAlloc, SteadyStateCancelScheduleChurnAllocatesNothing) {
+  Simulator sim;
+  constexpr int kTimers = 64;
+  std::uint64_t sink = 0;
+  std::uint32_t x = 0x9e3779b9u;
+  std::vector<EventHandle> handles(kTimers);
+  const auto make_timer = [&](int i) {
+    const Payload p{0xfeed, static_cast<std::uint64_t>(i), x};
+    return sim.schedule(static_cast<SimDuration>(200 + x % 100),
+                        [&sink, p] { sink += p.id; });
+  };
+  const auto churn = [&](int operations) {
+    for (int op = 0; op < operations; ++op) {
+      x = x * 1664525u + 1013904223u;
+      const int i = static_cast<int>(x % kTimers);
+      sim.cancel(handles[i]);
+      handles[i] = make_timer(i);
+      if ((op & 31) == 0) sim.run_until(sim.now() + 1);
+    }
+  };
+  for (int i = 0; i < kTimers; ++i) handles[i] = make_timer(i);
+  churn(1'000);  // warmup: grows the slot table / free list
+  const std::uint64_t before = allocation_count();
+  churn(10'000);
+  EXPECT_EQ(allocation_count(), before);
+}
+
+TEST(SimulatorAlloc, RescheduleAndPeriodicTimerAllocateNothing) {
+  Simulator sim;
+  std::uint64_t ticks = 0;
+  PeriodicTimer timer(sim, /*period=*/10, [&ticks] { ++ticks; });
+  timer.start();
+  std::uint64_t sink = 0;
+  const Payload p{0xbeef, 1, 2};
+  const EventHandle rto = sim.schedule(500, [&sink, p] { sink += p.id; });
+  sim.run_until(100);  // warmup: timer armed, slot table grown
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_TRUE(sim.reschedule(rto, 500));  // RTO re-arm: never fires
+    sim.run_until(sim.now() + 10);          // periodic tick re-arms inline
+  }
+  EXPECT_EQ(allocation_count(), before);
+  EXPECT_GE(ticks, 1'000u);
+  EXPECT_EQ(sink, 0u);
+}
+
+}  // namespace
+}  // namespace gdmp::sim
