@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "flow/flow_engine.h"
 #include "gridftp/client.h"
 #include "gridftp/server.h"
 #include "net/cross_traffic.h"
@@ -144,13 +145,19 @@ struct TransferSample {
   int attempts = 0;
   std::int64_t retransmits = 0;
   bool ok = false;
+  /// Simulator events fired between issuing the get and its completion
+  /// (the fluid-vs-packet cost axis bench_flow reports).
+  std::uint64_t events = 0;
 };
 
 /// Runs one extended_get: transfers `file_size` with the given stream
-/// count and buffer, returns the achieved rate.
-inline TransferSample run_wan_get(const WanBenchConfig& bench_config,
-                                  Bytes file_size, int streams,
-                                  Bytes tcp_buffer) {
+/// count and buffer, returns the achieved rate. With kFluid the payload
+/// (and the cross traffic) moves on a FlowEngine instead of per-segment
+/// TCP, same control channel and markers.
+inline TransferSample run_wan_get(
+    const WanBenchConfig& bench_config, Bytes file_size, int streams,
+    Bytes tcp_buffer,
+    flow::TransferModel model = flow::TransferModel::kPacket) {
   sim::Simulator simulator;
   net::Network network(simulator);
   net::WanConfig wan;
@@ -162,9 +169,24 @@ inline TransferSample run_wan_get(const WanBenchConfig& bench_config,
   net::TcpStack server_stack(simulator, *path.host_a);
   net::TcpStack client_stack(simulator, *path.host_b);
 
+  const bool fluid = model == flow::TransferModel::kFluid;
+  std::unique_ptr<flow::FlowEngine> engine;
+  if (fluid) engine = std::make_unique<flow::FlowEngine>(simulator, network);
+
   std::unique_ptr<net::DatagramSink> sink;
   std::unique_ptr<net::CbrSource> cbr_up, cbr_down;
-  if (bench_config.cross_traffic > 0) {
+  if (bench_config.cross_traffic > 0 && fluid) {
+    // Fluid cross traffic: a pinned flow each way, zero per-packet events.
+    for (const auto& [src, dst] : {std::pair{path.host_a, path.host_b},
+                                   std::pair{path.host_b, path.host_a}}) {
+      flow::FlowSpec cross;
+      cross.src = src->id();
+      cross.dst = dst->id();
+      cross.bytes = flow::kUnboundedBytes;
+      cross.pinned_rate = bench_config.cross_traffic;
+      (void)engine->start(cross, [](const flow::FlowDone&) {});
+    }
+  } else if (bench_config.cross_traffic > 0) {
     net::CbrConfig cbr;
     cbr.rate = bench_config.cross_traffic;
     sink = std::make_unique<net::DatagramSink>(*path.host_b);
@@ -194,10 +216,13 @@ inline TransferSample run_wan_get(const WanBenchConfig& bench_config,
   gridftp::TransferOptions options;
   options.parallel_streams = streams;
   options.tcp_buffer = tcp_buffer;
+  options.transfer_model = model;
+  options.flow_engine = engine.get();
 
   TransferSample sample;
   // Let the cross traffic reach steady state before measuring.
   simulator.run_until(2 * kSecond);
+  const std::uint64_t events_before = simulator.events_fired();
   client.get(path.host_a->id(), gridftp::kControlPort, "/pool/testfile",
              "/discard", /*pool=*/nullptr, options,
              [&](Result<gridftp::TransferResult> result) {
@@ -208,6 +233,7 @@ inline TransferSample run_wan_get(const WanBenchConfig& bench_config,
                  sample.attempts = result->attempts;
                  sample.retransmits = result->retransmitted_segments;
                }
+               sample.events = simulator.events_fired() - events_before;
                // Stop simulating once the measurement is in; the CBR
                // sources would otherwise churn events forever.
                simulator.request_stop();

@@ -10,11 +10,12 @@
 #      (ctest label bench_smoke) so the perf harnesses cannot bit-rot.
 #   4. trace export smoke test (observability example -> Chrome trace_event
 #      JSON -> trace_check validates the replication span chain).
-#   5. determinism check — scheduler (observability) and object-replication
-#      (hep_analysis) workloads must produce byte-identical output across
-#      two same-seed runs, and again with --hash-perturb, where the two
-#      runs get different GDMP_HASH_SEED salts scrambling every unordered
-#      container's iteration order.
+#   5. determinism check — scheduler (observability), object-replication
+#      (hep_analysis) and fluid-transfer (bench_flow --smoke) workloads
+#      must produce byte-identical output across two same-seed runs, and
+#      again with --hash-perturb, where the two runs get different
+#      GDMP_HASH_SEED salts scrambling every unordered container's
+#      iteration order.
 #
 #   scripts/check.sh            # lint + all presets + smoke + determinism
 #   scripts/check.sh default    # just one preset (skips lint/smoke)
@@ -65,6 +66,12 @@ if [ "$smoke" -eq 1 ]; then
   echo "==> determinism check [object replication workload]"
   ./build/tools/determinism_check ./build/examples/hep_analysis
   ./build/tools/determinism_check --hash-perturb ./build/examples/hep_analysis
+
+  echo "==> determinism check [fluid transfer workload]"
+  GDMP_BENCH_OUT=build ./build/tools/determinism_check \
+    ./build/bench/bench_flow --smoke
+  GDMP_BENCH_OUT=build ./build/tools/determinism_check --hash-perturb \
+    ./build/bench/bench_flow --smoke
 fi
 
 echo "==> all checks passed: ${presets[*]}"

@@ -1,0 +1,453 @@
+#include "flow/flow_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdmp::flow {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Payload bytes actually delivered (the slow-start deficit drains first,
+/// so early on this reads 0).
+Bytes delivered_bytes(Bytes total, double remaining) noexcept {
+  const double done = static_cast<double>(total) - remaining;
+  if (done <= 0.0) return 0;
+  if (done >= static_cast<double>(total)) return total;
+  return static_cast<Bytes>(done);
+}
+
+}  // namespace
+
+FlowEngine::FlowEngine(sim::Simulator& simulator, net::Network& network,
+                       FluidConfig config)
+    : simulator_(simulator), network_(network), config_(config) {}
+
+FlowEngine::~FlowEngine() {
+  for (FlowState& flow : flows_) {
+    simulator_.cancel(flow.completion);
+  }
+  simulator_.cancel(reneg_event_);
+}
+
+void FlowEngine::set_metrics(const obs::MetricsScope& scope) {
+  active_gauge_ = scope.gauge("active_flows");
+  reneg_counter_ = scope.counter("renegotiations");
+  links_recomputed_counter_ = scope.counter("links_recomputed");
+  completed_counter_ = scope.counter("completed");
+}
+
+std::int32_t FlowEngine::intern_link(const net::Link* link) {
+  const auto [it, inserted] =
+      link_index_.try_emplace(link, static_cast<std::int32_t>(links_.size()));
+  if (inserted) {
+    LinkState state;
+    state.link = link;
+    state.capacity = link->config().bandwidth * config_.efficiency;
+    links_.push_back(std::move(state));
+  }
+  return it->second;
+}
+
+std::uint32_t FlowEngine::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  flows_.emplace_back();
+  flows_.back().gen = 1;
+  return static_cast<std::uint32_t>(flows_.size() - 1);
+}
+
+FlowId FlowEngine::start(const FlowSpec& spec, Completion on_done) {
+  path_scratch_.clear();
+  if (!network_.path_links(spec.src, spec.dst, path_scratch_) ||
+      path_scratch_.empty()) {
+    return FlowId{};
+  }
+
+  const std::uint32_t slot = alloc_slot();
+  FlowState& flow = flows_[slot];
+  flow.spec = spec;
+  flow.on_done = std::move(on_done);
+  flow.in_use = true;
+  flow.pinned = spec.pinned_rate > 0;
+  flow.rate_assigned = false;
+  flow.in_closure = false;
+  flow.rate = 0.0;
+  flow.remaining = static_cast<double>(spec.bytes);
+  flow.started = flow.settled_at = simulator_.now();
+  flow.bottleneck = -1;
+  flow.completion = {};
+  flow.path.clear();
+  flow.pos_in_link.clear();
+
+  SimDuration one_way = 0;
+  for (net::Link* link : path_scratch_) {
+    one_way += link->config().propagation;
+    flow.path.push_back(intern_link(link));
+  }
+  flow.rtt = std::max<SimDuration>(2 * one_way, kMicrosecond);
+  const double rtt_sec = to_seconds(flow.rtt);
+  const double ref_sec =
+      to_seconds(std::max<SimDuration>(config_.reference_rtt, kMicrosecond));
+  flow.weight_eff = std::max(spec.weight, 1e-9) * ref_sec / rtt_sec;
+  flow.cap = spec.window > 0
+                 ? static_cast<double>(spec.window) * 8.0 / rtt_sec
+                 : kInf;
+
+  for (std::size_t i = 0; i < flow.path.size(); ++i) {
+    LinkState& link = links_[flow.path[i]];
+    if (flow.pinned) {
+      link.pinned += spec.pinned_rate * config_.efficiency;
+      flow.pos_in_link.push_back(-1);
+    } else {
+      flow.pos_in_link.push_back(static_cast<std::int32_t>(link.flows.size()));
+      link.flows.push_back(slot);
+    }
+    mark_dirty(flow.path[i]);
+  }
+
+  ++stats_.flows_started;
+  ++active_count_;
+  if (active_gauge_) active_gauge_->set(static_cast<double>(active_count_));
+
+  if (flow.pinned) {
+    // Unresponsive flow: its rate is fixed now and forever; only the
+    // fair-share population renegotiates around it.
+    apply_rate(slot, spec.pinned_rate * config_.efficiency, -1);
+  }
+  schedule_renegotiation();
+  return FlowId{slot, flow.gen};
+}
+
+bool FlowEngine::cancel(FlowId id) {
+  if (!active(id)) return false;
+  settle(flows_[id.slot], simulator_.now());
+  ++stats_.flows_cancelled;
+  retire(id.slot, false);
+  return true;
+}
+
+bool FlowEngine::active(FlowId id) const noexcept {
+  return id.valid() && id.slot < flows_.size() && flows_[id.slot].in_use &&
+         flows_[id.slot].gen == id.gen;
+}
+
+BitsPerSec FlowEngine::rate(FlowId id) const noexcept {
+  return active(id) ? flows_[id.slot].rate : 0.0;
+}
+
+Bytes FlowEngine::transferred(FlowId id) const noexcept {
+  if (!active(id)) return 0;
+  const FlowState& flow = flows_[id.slot];
+  return delivered_bytes(flow.spec.bytes, remaining_now(flow));
+}
+
+void FlowEngine::on_link_changed(const net::Link* link) {
+  const auto it = link_index_.find(link);
+  if (it == link_index_.end()) return;
+  links_[it->second].capacity =
+      link->config().bandwidth * config_.efficiency;
+  mark_dirty(it->second);
+  schedule_renegotiation();
+}
+
+double FlowEngine::link_utilization(const net::Link* link) const noexcept {
+  const auto it = link_index_.find(link);
+  if (it == link_index_.end()) return 0.0;
+  const LinkState& state = links_[it->second];
+  if (state.capacity <= 0.0) return 0.0;
+  double load = state.pinned;
+  for (const std::uint32_t slot : state.flows) load += flows_[slot].rate;
+  return load / state.capacity;
+}
+
+void FlowEngine::settle(FlowState& flow, SimTime now) {
+  if (now <= flow.settled_at) return;
+  flow.remaining -= flow.rate * to_seconds(now - flow.settled_at) / 8.0;
+  if (flow.remaining < 0.0) flow.remaining = 0.0;
+  flow.settled_at = now;
+}
+
+double FlowEngine::remaining_now(const FlowState& flow) const noexcept {
+  const SimTime now = simulator_.now();
+  if (now <= flow.settled_at) return flow.remaining;
+  const double left =
+      flow.remaining - flow.rate * to_seconds(now - flow.settled_at) / 8.0;
+  return left > 0.0 ? left : 0.0;
+}
+
+void FlowEngine::mark_dirty(std::int32_t link_index) {
+  LinkState& link = links_[link_index];
+  if (link.dirty) return;
+  link.dirty = true;
+  dirty_links_.push_back(link_index);
+}
+
+void FlowEngine::schedule_renegotiation() {
+  if (reneg_pending_) return;
+  reneg_pending_ = true;
+  if (simulator_.reschedule(reneg_event_, config_.reneg_quantum)) return;
+  reneg_event_ = simulator_.schedule(
+      config_.reneg_quantum,
+      [this, weak = std::weak_ptr<bool>(alive_)] {
+        if (weak.expired()) return;
+        renegotiate();
+      });
+}
+
+void FlowEngine::renegotiate() {
+  reneg_pending_ = false;
+  if (dirty_links_.empty()) return;
+  ++stats_.renegotiations;
+  if (reneg_counter_) reneg_counter_->add();
+
+  closure_flows_.clear();
+  solve_links_.clear();
+
+  // Seed: every dirty link is *absorbed* — its resident fair-share flows
+  // will be re-rated. (`dirty` doubles as the absorbed marker below.)
+  for (const std::int32_t li : dirty_links_) {
+    LinkState& link = links_[li];
+    if (link.share_index >= 0) continue;
+    link.share_index = static_cast<std::int32_t>(solve_links_.size());
+    solve_links_.push_back(li);
+  }
+
+  std::size_t absorbed_scan = 0;   // solve_links_ entries whose flows joined
+  std::size_t flow_scan = 0;       // closure flows whose paths were walked
+  int round = 0;
+  for (;;) {
+    // Discovery: flows of newly absorbed links join the closure; links on
+    // newly joined flows' paths join the solve as capacity constraints
+    // (their own residents stay fixed unless a later round absorbs them).
+    for (; absorbed_scan < solve_links_.size(); ++absorbed_scan) {
+      const LinkState& link = links_[solve_links_[absorbed_scan]];
+      if (!link.dirty) continue;  // constraint-only link, not absorbed
+      for (const std::uint32_t slot : link.flows) {
+        FlowState& flow = flows_[slot];
+        if (flow.in_closure) continue;
+        flow.in_closure = true;
+        closure_flows_.push_back(slot);
+      }
+    }
+    for (; flow_scan < closure_flows_.size(); ++flow_scan) {
+      for (const std::int32_t li : flows_[closure_flows_[flow_scan]].path) {
+        LinkState& link = links_[li];
+        if (link.share_index >= 0) continue;
+        link.share_index = static_cast<std::int32_t>(solve_links_.size());
+        solve_links_.push_back(li);
+      }
+    }
+
+    // Solver input: closure flows over solve links, with pinned traffic
+    // and out-of-closure flows folded in as fixed load.
+    share_links_.clear();
+    for (const std::int32_t li : solve_links_) {
+      const LinkState& link = links_[li];
+      double fixed = link.pinned;
+      for (const std::uint32_t slot : link.flows) {
+        if (!flows_[slot].in_closure) fixed += flows_[slot].rate;
+      }
+      ShareLink entry;
+      entry.capacity = link.capacity - fixed;
+      share_links_.push_back(entry);
+    }
+    share_flows_.clear();
+    membership_.clear();
+    for (const std::uint32_t slot : closure_flows_) {
+      const FlowState& flow = flows_[slot];
+      ShareFlow entry;
+      entry.weight = flow.weight_eff;
+      entry.cap = flow.cap;
+      entry.link_begin = static_cast<std::int32_t>(membership_.size());
+      entry.link_count = static_cast<std::int32_t>(flow.path.size());
+      for (const std::int32_t li : flow.path) {
+        membership_.push_back(links_[li].share_index);
+      }
+      share_flows_.push_back(entry);
+    }
+    solver_.solve(share_flows_, share_links_, membership_, config_.min_rate);
+    ++round;
+    if (round >= config_.max_rounds) break;
+
+    // Expansion: a constraint-only link whose capacity is now under-used
+    // only matters if a resident fixed flow was bottlenecked *on that
+    // link* — then it can claim the slack and must be re-rated. Absorbing
+    // links without such a flow would drag the whole network into every
+    // solve (the O(F^2) trap).
+    bool expanded = false;
+    for (std::size_t i = 0; i < solve_links_.size(); ++i) {
+      LinkState& link = links_[solve_links_[i]];
+      if (link.dirty) continue;  // already absorbed
+      if (share_links_[i].residual <= config_.slack_epsilon) continue;
+      bool claimable = false;
+      for (const std::uint32_t slot : link.flows) {
+        const FlowState& flow = flows_[slot];
+        if (!flow.in_closure && flow.bottleneck == solve_links_[i]) {
+          claimable = true;
+          break;
+        }
+      }
+      if (claimable) {
+        // Absorb directly (the discovery cursor already passed this link).
+        link.dirty = true;
+        for (const std::uint32_t slot : link.flows) {
+          FlowState& flow = flows_[slot];
+          if (flow.in_closure) continue;
+          flow.in_closure = true;
+          closure_flows_.push_back(slot);
+        }
+        expanded = true;
+      }
+    }
+    if (!expanded) break;
+  }
+
+  stats_.links_recomputed += static_cast<std::int64_t>(solve_links_.size());
+  stats_.flows_recomputed += static_cast<std::int64_t>(closure_flows_.size());
+  if (links_recomputed_counter_) {
+    links_recomputed_counter_->add(
+        static_cast<std::int64_t>(solve_links_.size()));
+  }
+
+  // Apply after the solve has fully converged: settle each flow under its
+  // old rate, install the new one, and move its completion event.
+  for (std::size_t i = 0; i < closure_flows_.size(); ++i) {
+    const std::int32_t share_bottleneck = share_flows_[i].bottleneck;
+    apply_rate(closure_flows_[i], share_flows_[i].rate,
+               share_bottleneck >= 0 ? solve_links_[share_bottleneck] : -1);
+  }
+
+  for (const std::int32_t li : solve_links_) {
+    links_[li].share_index = -1;
+    links_[li].dirty = false;
+  }
+  for (const std::uint32_t slot : closure_flows_) {
+    flows_[slot].in_closure = false;
+  }
+  dirty_links_.clear();
+}
+
+void FlowEngine::apply_rate(std::uint32_t slot, double rate,
+                            std::int32_t bottleneck) {
+  FlowState& flow = flows_[slot];
+  const SimTime now = simulator_.now();
+  settle(flow, now);
+
+  if (!flow.rate_assigned) {
+    flow.rate_assigned = true;
+    if (config_.model_slow_start && !flow.pinned &&
+        flow.spec.bytes < kUnboundedBytes) {
+      // One-shot slow-start tax: bytes "lost" while the window doubles from
+      // the initial window up to its steady value (capped by the receive
+      // window or the path rate × RTT product).
+      const double steady_window =
+          std::min(flow.spec.window > 0
+                       ? static_cast<double>(flow.spec.window)
+                       : kInf,
+                   rate * to_seconds(flow.rtt) / 8.0);
+      const double initial =
+          std::max(static_cast<double>(config_.initial_window), 1.0);
+      if (steady_window > initial) {
+        const double doublings = std::log2(steady_window / initial);
+        flow.remaining += steady_window * std::max(0.0, doublings - 2.0);
+      }
+    }
+  }
+
+  flow.rate = std::max(rate, static_cast<double>(config_.min_rate));
+  flow.bottleneck = bottleneck;
+
+  // Move the completion event to the new drain time.
+  const double ns = flow.remaining * 8.0 / flow.rate * 1e9;
+  if (!(ns < static_cast<double>(
+            std::numeric_limits<SimTime>::max() / 4))) {
+    // Effectively never (unbounded background flows): no completion event.
+    simulator_.cancel(flow.completion);
+    flow.completion = {};
+    return;
+  }
+  const SimDuration delay = static_cast<SimDuration>(ns) + 1;  // ceil
+  if (simulator_.reschedule(flow.completion, delay)) return;
+  flow.completion = simulator_.schedule(
+      delay, [this, slot, gen = flow.gen,
+              weak = std::weak_ptr<bool>(alive_)] {
+        if (weak.expired()) return;
+        if (slot >= flows_.size() || !flows_[slot].in_use ||
+            flows_[slot].gen != gen) {
+          return;  // stale: the flow was retired and the event not cancelled
+        }
+        complete(slot);
+      });
+}
+
+void FlowEngine::detach_from_links(std::uint32_t slot) {
+  FlowState& flow = flows_[slot];
+  for (std::size_t i = 0; i < flow.path.size(); ++i) {
+    const std::int32_t li = flow.path[i];
+    LinkState& link = links_[li];
+    if (flow.pinned) {
+      link.pinned -= flow.spec.pinned_rate * config_.efficiency;
+      if (link.pinned < 0.0) link.pinned = 0.0;
+    } else {
+      const auto pos = static_cast<std::size_t>(flow.pos_in_link[i]);
+      const std::uint32_t moved = link.flows.back();
+      link.flows[pos] = moved;
+      link.flows.pop_back();
+      if (moved != slot) {
+        FlowState& other = flows_[moved];
+        for (std::size_t j = 0; j < other.path.size(); ++j) {
+          if (other.path[j] == li) {
+            other.pos_in_link[j] = static_cast<std::int32_t>(pos);
+            break;
+          }
+        }
+      }
+    }
+    mark_dirty(li);
+  }
+}
+
+void FlowEngine::complete(std::uint32_t slot) {
+  FlowState& flow = flows_[slot];
+  flow.completion = {};  // the event just fired
+  settle(flow, simulator_.now());
+  flow.remaining = 0.0;
+  ++stats_.flows_completed;
+  stats_.bytes_completed += flow.spec.bytes;
+  if (completed_counter_) completed_counter_->add();
+  retire(slot, true);
+}
+
+void FlowEngine::retire(std::uint32_t slot, bool ok) {
+  FlowState& flow = flows_[slot];
+  detach_from_links(slot);
+  simulator_.cancel(flow.completion);
+  flow.completion = {};
+
+  FlowDone done;
+  done.id = FlowId{slot, flow.gen};
+  done.ok = ok;
+  done.transferred =
+      ok ? flow.spec.bytes : delivered_bytes(flow.spec.bytes, flow.remaining);
+  done.started = flow.started;
+  done.finished = simulator_.now();
+  done.tag = flow.spec.tag;
+
+  Completion callback = std::move(flow.on_done);
+  flow.on_done = {};
+  flow.in_use = false;
+  ++flow.gen;
+  free_slots_.push_back(slot);
+  --active_count_;
+  if (active_gauge_) active_gauge_->set(static_cast<double>(active_count_));
+  schedule_renegotiation();
+  // `flow` may dangle past this point: the callback can start new flows
+  // (slot-pool growth) — everything it needs was copied out above.
+  if (callback) callback(done);
+}
+
+}  // namespace gdmp::flow

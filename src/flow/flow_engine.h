@@ -1,0 +1,164 @@
+// Fluid flow engine: rate-based transfer simulation.
+//
+// Each active transfer is a flow with a payload rate; the engine assigns
+// weighted max-min fair shares per link (fair_share.h) and schedules one
+// completion event per flow via Simulator::reschedule. Rates are
+// renegotiated only when the flow set or a link capacity changes, and the
+// renegotiation is *incremental*: it solves over the closure of links the
+// change touched, folding unaffected traffic in as fixed load, and expands
+// only to links whose freed slack can actually be claimed (a resident flow
+// recorded that link as its bottleneck). Steady state allocates nothing:
+// flow slots, per-slot path vectors, and all solver scratch are pooled
+// (PR 5 kernel discipline).
+//
+// Determinism: closure discovery follows event order (dirty list) and
+// per-link insertion order; the only unordered container is a
+// lookup-only Link* index that is never iterated.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/det_hash.h"
+#include "common/types.h"
+#include "flow/fair_share.h"
+#include "flow/flow.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace gdmp::flow {
+
+class FlowEngine {
+ public:
+  /// Completion callback. Fires exactly once per started flow — on drain
+  /// (ok) or cancel (not ok) — never from inside start(). Invoked after the
+  /// engine has fully retired the flow, so callbacks may start or cancel
+  /// flows reentrantly. NOT invoked by the engine destructor (teardown
+  /// discipline: in-flight work is dropped, like net::Link).
+  using Completion = sim::InlineFunction<void(const FlowDone&), 64>;
+
+  FlowEngine(sim::Simulator& simulator, net::Network& network,
+             FluidConfig config = {});
+  ~FlowEngine();
+
+  FlowEngine(const FlowEngine&) = delete;
+  FlowEngine& operator=(const FlowEngine&) = delete;
+
+  /// Starts a flow. The route must exist (compute_routes() has run) and be
+  /// at least one link long. Returns an invalid id if unrouted.
+  FlowId start(const FlowSpec& spec, Completion on_done);
+
+  /// Cancels an active flow; its completion fires with ok=false before
+  /// this returns. Stale / completed ids are a no-op returning false.
+  bool cancel(FlowId id);
+
+  bool active(FlowId id) const noexcept;
+  /// Current payload rate (bits/s); 0 for inactive ids.
+  BitsPerSec rate(FlowId id) const noexcept;
+  /// Payload bytes delivered so far, settled to now(). During the modelled
+  /// slow-start deficit this reads 0 (the window is still growing).
+  Bytes transferred(FlowId id) const noexcept;
+
+  /// Re-reads `link->config().bandwidth` and renegotiates the flows
+  /// crossing it. Call after mutating a link the engine has seen; unknown
+  /// links are a no-op.
+  void on_link_changed(const net::Link* link);
+
+  /// Offered payload load / payload capacity for a link the engine has
+  /// routed flows over (0 for unknown links). Complements
+  /// net::Link::busy_time() which only moves under the packet model.
+  double link_utilization(const net::Link* link) const noexcept;
+
+  std::size_t active_flows() const noexcept { return active_count_; }
+  const FlowEngineStats& stats() const noexcept { return stats_; }
+  const FluidConfig& config() const noexcept { return config_; }
+  sim::Simulator& simulator() noexcept { return simulator_; }
+
+  /// Caches gauges/counters ("active_flows", "renegotiations",
+  /// "links_recomputed") under `scope`.
+  void set_metrics(const obs::MetricsScope& scope);
+
+ private:
+  struct FlowState {
+    FlowSpec spec{};
+    Completion on_done{};
+    std::uint32_t gen = 0;
+    bool in_use = false;
+    bool pinned = false;
+    bool rate_assigned = false;
+    bool in_closure = false;
+    double weight_eff = 1.0;
+    double cap = std::numeric_limits<double>::infinity();
+    double rate = 0.0;        // payload bits/s
+    double remaining = 0.0;   // payload bytes left (incl. slow-start deficit)
+    SimTime settled_at = 0;   // `remaining` is exact as of this instant
+    SimTime started = 0;
+    SimDuration rtt = 0;
+    std::int32_t bottleneck = -1;  // link index that froze this flow's rate
+    sim::EventHandle completion{};
+    std::vector<std::int32_t> path;         // link indices, src → dst
+    std::vector<std::int32_t> pos_in_link;  // this flow's slot in each
+                                            // link's flows vector
+  };
+
+  struct LinkState {
+    const net::Link* link = nullptr;
+    double capacity = 0.0;  // payload bits/s (wire bandwidth × efficiency)
+    double pinned = 0.0;    // payload load of pinned flows
+    std::vector<std::uint32_t> flows;  // active fair-share flows crossing
+    bool dirty = false;
+    std::int32_t share_index = -1;  // renegotiation scratch
+  };
+
+  std::int32_t intern_link(const net::Link* link);
+  std::uint32_t alloc_slot();
+  void settle(FlowState& flow, SimTime now);
+  double remaining_now(const FlowState& flow) const noexcept;
+  void mark_dirty(std::int32_t link_index);
+  void schedule_renegotiation();
+  void renegotiate();
+  void apply_rate(std::uint32_t slot, double rate, std::int32_t bottleneck);
+  void detach_from_links(std::uint32_t slot);
+  void complete(std::uint32_t slot);
+  void retire(std::uint32_t slot, bool ok);
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  FluidConfig config_;
+
+  std::vector<FlowState> flows_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t active_count_ = 0;
+
+  std::vector<LinkState> links_;
+  common::UnorderedMap<const net::Link*, std::int32_t>
+      link_index_;  // lookup-only
+
+  std::vector<std::int32_t> dirty_links_;
+  sim::EventHandle reneg_event_{};
+  bool reneg_pending_ = false;
+
+  // Renegotiation scratch, reused across solves.
+  WaterFill solver_;
+  std::vector<std::uint32_t> closure_flows_;
+  std::vector<std::int32_t> solve_links_;
+  std::vector<ShareFlow> share_flows_;
+  std::vector<ShareLink> share_links_;
+  std::vector<std::int32_t> membership_;
+  std::vector<net::Link*> path_scratch_;
+
+  FlowEngineStats stats_;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Counter* reneg_counter_ = nullptr;
+  obs::Counter* links_recomputed_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+
+  /// Completion / renegotiation events may outlive the engine in the
+  /// simulator queue; they hold this sentinel weakly.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace gdmp::flow

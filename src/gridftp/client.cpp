@@ -5,9 +5,15 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "flow/flow_engine.h"
 
 namespace gdmp::gridftp {
 namespace {
+
+bool fluid_selected(const TransferOptions& options) noexcept {
+  return options.transfer_model == flow::TransferModel::kFluid &&
+         options.flow_engine != nullptr;
+}
 
 /// Content identity of a stored *partial* file: a subrange of a synthetic
 /// stream is itself a fresh stream with a derived seed (DESIGN.md §2).
@@ -66,6 +72,16 @@ struct FtpClient::Transfer : std::enable_shared_from_this<Transfer> {
   obs::SpanId span;
   std::vector<obs::SpanId> stream_spans;
   std::vector<Bytes> stream_bytes;
+
+  // Fluid path (options.transfer_model == kFluid): one flow per stripe in
+  // place of the TCP data streams; the control channel, verification and
+  // restart logic are shared with the packet path.
+  std::vector<flow::FlowId> flows;
+  std::vector<std::vector<ByteRange>> flow_ranges;  // stripe -> ranges
+  std::vector<std::uint64_t> flow_seeds;            // stripe -> content seed
+  std::vector<std::uint8_t> fluid_reply;            // saved FGET/STOR-style reply
+  Bytes payload_base = 0;  // payload delivered by earlier attempts
+  int flows_outstanding = 0;
 
   void close_streams() {
     auto& tracer = obs::Tracer::global();
@@ -171,6 +187,10 @@ void FtpClient::get(net::NodeId server, net::Port control_port,
 }
 
 void FtpClient::start_get_attempt(const std::shared_ptr<Transfer>& transfer) {
+  if (fluid_selected(transfer->options)) {
+    start_fluid_get_attempt(transfer);
+    return;
+  }
   ++transfer->attempts;
   transfer->close_streams();
   std::weak_ptr<bool> alive = alive_;
@@ -306,35 +326,237 @@ void FtpClient::open_streams(const std::shared_ptr<Transfer>& transfer,
   }
 
   // Throughput instrumentation: sample payload progress periodically.
-  if (!transfer->monitor) {
-    transfer->last_sampled_bytes = 0;
-    transfer->monitor = std::make_unique<sim::PeriodicTimer>(
-        stack_.simulator(), transfer->options.monitor_interval,
-        [this, alive, transfer] {
-          if (alive.expired()) return;
-          const Bytes now_bytes = transfer->payload_bytes;
-          const double mbps = throughput_mbps(
-              now_bytes - transfer->last_sampled_bytes,
-              transfer->options.monitor_interval);
-          transfer->last_sampled_bytes = now_bytes;
-          transfer->rate_series.add(stack_.simulator().now(), mbps);
-          // Wire-level perf markers: one per stripe, cumulative bytes.
-          const obs::TransferChannel* channel = transfer->options.channel;
-          if (channel != nullptr && channel->has_subscribers()) {
-            obs::PerfMarker marker;
-            marker.time = stack_.simulator().now();
-            marker.peer = transfer->options.peer;
-            marker.path = transfer->remote_path;
-            marker.stripe_count =
-                static_cast<std::uint32_t>(transfer->stream_bytes.size());
-            for (std::size_t s = 0; s < transfer->stream_bytes.size(); ++s) {
-              marker.stripe = static_cast<std::uint32_t>(s);
-              marker.bytes = transfer->stream_bytes[s];
-              channel->perf(marker);
-            }
+  ensure_monitor(transfer);
+}
+
+void FtpClient::ensure_monitor(const std::shared_ptr<Transfer>& transfer) {
+  if (transfer->monitor) return;
+  transfer->last_sampled_bytes = 0;
+  std::weak_ptr<bool> alive = alive_;
+  transfer->monitor = std::make_unique<sim::PeriodicTimer>(
+      stack_.simulator(), transfer->options.monitor_interval,
+      [this, alive, transfer] {
+        if (alive.expired()) return;
+        monitor_tick(transfer);
+      });
+  transfer->monitor->start();
+}
+
+void FtpClient::monitor_tick(const std::shared_ptr<Transfer>& transfer) {
+  // Fluid stripes progress continuously inside the engine; pull their
+  // byte counts forward so markers and the rate series see live progress
+  // (the packet path's parsers update stream_bytes directly instead).
+  if (!transfer->flows.empty()) {
+    flow::FlowEngine* engine = transfer->options.flow_engine;
+    Bytes current = 0;
+    for (std::size_t i = 0; i < transfer->flows.size(); ++i) {
+      if (engine->active(transfer->flows[i])) {
+        transfer->stream_bytes[i] = engine->transferred(transfer->flows[i]);
+      }
+      current += transfer->stream_bytes[i];
+    }
+    transfer->payload_bytes = transfer->payload_base + current;
+  }
+  const Bytes now_bytes = transfer->payload_bytes;
+  const double mbps = throughput_mbps(
+      now_bytes - transfer->last_sampled_bytes,
+      transfer->options.monitor_interval);
+  transfer->last_sampled_bytes = now_bytes;
+  transfer->rate_series.add(stack_.simulator().now(), mbps);
+  // Wire-level perf markers: one per stripe, cumulative bytes.
+  const obs::TransferChannel* channel = transfer->options.channel;
+  if (channel != nullptr && channel->has_subscribers()) {
+    obs::PerfMarker marker;
+    marker.time = stack_.simulator().now();
+    marker.peer = transfer->options.peer;
+    marker.path = transfer->remote_path;
+    marker.stripe_count =
+        static_cast<std::uint32_t>(transfer->stream_bytes.size());
+    for (std::size_t s = 0; s < transfer->stream_bytes.size(); ++s) {
+      marker.stripe = static_cast<std::uint32_t>(s);
+      marker.bytes = transfer->stream_bytes[s];
+      channel->perf(marker);
+    }
+  }
+}
+
+void FtpClient::cancel_flows(const std::shared_ptr<Transfer>& transfer) {
+  if (transfer->flows.empty()) return;
+  flow::FlowEngine* engine = transfer->options.flow_engine;
+  for (const flow::FlowId id : transfer->flows) {
+    engine->cancel(id);  // FlowDone callbacks no-op: epoch/finished guards
+  }
+  transfer->flows.clear();
+  transfer->flows_outstanding = 0;
+}
+
+void FtpClient::start_fluid_get_attempt(
+    const std::shared_ptr<Transfer>& transfer) {
+  ++transfer->attempts;
+  cancel_flows(transfer);
+  transfer->payload_base = transfer->payload_bytes;
+  std::weak_ptr<bool> alive = alive_;
+
+  // One metadata round-trip replaces SBUF/PASV/RETR: the server resolves
+  // the ranges, charges the source disk read, and returns the content
+  // identity per stripe (a poisoned stripe seed is the fluid analogue of a
+  // corrupted wire block — the shared verification path re-requests it).
+  rpc::Writer w;
+  w.str(transfer->remote_path);
+  w.u32(static_cast<std::uint32_t>(transfer->options.parallel_streams));
+  w.u32(static_cast<std::uint32_t>(transfer->attempt_ranges.size()));
+  for (const ByteRange& range : transfer->attempt_ranges) {
+    w.i64(range.offset);
+    w.i64(range.length);
+  }
+  transfer->rpc->call(
+      kCmdFluidGet, w.take(),
+      [this, alive, transfer](Status status, std::vector<std::uint8_t> reply) {
+        if (alive.expired() || transfer->finished) return;
+        if (!status.is_ok()) {
+          finish_get_attempt(transfer, std::move(status), reply);
+          return;
+        }
+        rpc::Reader r(reply);
+        (void)r.i64();  // total bytes; re-read by finish_get_attempt
+        (void)r.u32();  // server CRC; re-read by finish_get_attempt
+        const std::uint32_t stripes = r.u32();
+        transfer->flow_seeds.clear();
+        for (std::uint32_t i = 0; i < stripes && r.ok(); ++i) {
+          transfer->flow_seeds.push_back(r.u64());
+        }
+        if (!r.ok() || stripes == 0) {
+          complete(transfer,
+                   make_error(ErrorCode::kInternal, "malformed FGET reply"));
+          return;
+        }
+        transfer->fluid_reply = std::move(reply);
+        transfer->flow_ranges = stripe_ranges(
+            transfer->attempt_ranges, static_cast<int>(stripes));
+        transfer->flows.assign(stripes, flow::FlowId{});
+        transfer->stream_bytes.assign(stripes, 0);
+        transfer->flows_outstanding = 0;
+        ensure_monitor(transfer);
+
+        flow::FlowEngine* engine = transfer->options.flow_engine;
+        const int attempt = transfer->attempts;
+        for (std::uint32_t i = 0; i < stripes; ++i) {
+          Bytes stripe_bytes = 0;
+          for (const ByteRange& range : transfer->flow_ranges[i]) {
+            stripe_bytes += range.length;
           }
+          if (stripe_bytes == 0) continue;
+          flow::FlowSpec spec;
+          spec.src = transfer->server;
+          spec.dst = stack_.node().id();
+          spec.bytes = stripe_bytes;
+          spec.window = transfer->options.tcp_buffer;
+          ++transfer->flows_outstanding;
+          transfer->flows[i] = engine->start(
+              spec, [this, alive, transfer, i, attempt](
+                        const flow::FlowDone& done) {
+                if (alive.expired() || transfer->finished ||
+                    transfer->attempts != attempt || !done.ok) {
+                  return;
+                }
+                Bytes stripe_total = 0;
+                for (const ByteRange& range : transfer->flow_ranges[i]) {
+                  transfer->received.add(range.offset, range.length);
+                  transfer->blocks[range.offset] = {range.length,
+                                                    transfer->flow_seeds[i]};
+                  stripe_total += range.length;
+                }
+                transfer->stream_bytes[i] = stripe_total;
+                // Recompute (not +=): the monitor may have already pulled a
+                // partial count for this stripe into payload_bytes.
+                Bytes attempt_sum = 0;
+                for (const Bytes b : transfer->stream_bytes) attempt_sum += b;
+                transfer->payload_bytes = transfer->payload_base + attempt_sum;
+                if (--transfer->flows_outstanding == 0) {
+                  transfer->flows.clear();
+                  finish_get_attempt(transfer, Status::ok(),
+                                     transfer->fluid_reply);
+                }
+              });
+          if (!transfer->flows[i].valid()) {
+            --transfer->flows_outstanding;
+            complete(transfer, make_error(ErrorCode::kUnavailable,
+                                          "no route for fluid flow"));
+            return;
+          }
+        }
+        if (transfer->flows_outstanding == 0) {
+          transfer->flows.clear();
+          finish_get_attempt(transfer, Status::ok(), transfer->fluid_reply);
+        }
+      });
+}
+
+void FtpClient::start_fluid_put_attempt(
+    const std::shared_ptr<Transfer>& transfer) {
+  ++transfer->attempts;
+  cancel_flows(transfer);
+  transfer->payload_base = transfer->payload_bytes;
+  std::weak_ptr<bool> alive = alive_;
+
+  const auto parts = partition_range(ByteRange{0, transfer->file_size},
+                                     transfer->options.parallel_streams,
+                                     transfer->file_size);
+  transfer->flow_ranges.assign(parts.size(), {});
+  transfer->flows.assign(parts.size(), flow::FlowId{});
+  transfer->stream_bytes.assign(parts.size(), 0);
+  transfer->flows_outstanding = 0;
+  ensure_monitor(transfer);
+
+  flow::FlowEngine* engine = transfer->options.flow_engine;
+  const int attempt = transfer->attempts;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    transfer->flow_ranges[i] = {parts[i]};
+    transfer->pool->disk().read(parts[i].length, [] {});
+    flow::FlowSpec spec;
+    spec.src = stack_.node().id();
+    spec.dst = transfer->server;
+    spec.bytes = parts[i].length;
+    spec.window = transfer->options.tcp_buffer;
+    ++transfer->flows_outstanding;
+    transfer->flows[i] = engine->start(
+        spec,
+        [this, alive, transfer, i, attempt](const flow::FlowDone& done) {
+          if (alive.expired() || transfer->finished ||
+              transfer->attempts != attempt || !done.ok) {
+            return;
+          }
+          transfer->stream_bytes[i] = done.transferred;
+          Bytes attempt_sum = 0;
+          for (const Bytes b : transfer->stream_bytes) attempt_sum += b;
+          transfer->payload_bytes = transfer->payload_base + attempt_sum;
+          if (--transfer->flows_outstanding > 0) return;
+          transfer->flows.clear();
+          // All payload delivered: commit on the server (FPUT charges the
+          // destination disk write and replies with the stored CRC, which
+          // finish_put_attempt verifies as after a STOR).
+          rpc::Writer commit;
+          commit.str(transfer->remote_path);
+          commit.i64(transfer->file_size);
+          commit.u64(transfer->source_seed);
+          transfer->rpc->call(
+              kCmdFluidPut, commit.take(),
+              [this, alive, transfer](Status status,
+                                      std::vector<std::uint8_t> reply) {
+                if (alive.expired() || transfer->finished) return;
+                finish_put_attempt(transfer, std::move(status), reply);
+              });
         });
-    transfer->monitor->start();
+    if (!transfer->flows[i].valid()) {
+      --transfer->flows_outstanding;
+      complete(transfer, make_error(ErrorCode::kUnavailable,
+                                    "no route for fluid flow"));
+      return;
+    }
+  }
+  if (parts.empty()) {
+    complete(transfer,
+             make_error(ErrorCode::kInvalidArgument, "empty fluid PUT"));
   }
 }
 
@@ -486,6 +708,10 @@ void FtpClient::put(net::NodeId server, net::Port control_port,
 }
 
 void FtpClient::start_put_attempt(const std::shared_ptr<Transfer>& transfer) {
+  if (fluid_selected(transfer->options)) {
+    start_fluid_put_attempt(transfer);
+    return;
+  }
   ++transfer->attempts;
   transfer->close_streams();
   std::weak_ptr<bool> alive = alive_;
@@ -643,6 +869,7 @@ void FtpClient::complete(const std::shared_ptr<Transfer>& transfer,
     transfer->monitor.reset();
   }
   transfer->close_streams();
+  cancel_flows(transfer);  // no-op callbacks: finished is already set
   if (transfer->rpc) transfer->rpc->close();
 
   if (transfer->span.valid()) {

@@ -17,6 +17,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "flow/transfer_model.h"
 #include "gridftp/block_stream.h"
 #include "gridftp/protocol.h"
 #include "obs/channel.h"
@@ -50,6 +51,14 @@ struct TransferOptions {
   std::string peer;
   /// Parent for the "gridftp.transfer" span; invalid = ambient current.
   obs::SpanId parent_span{};
+  /// Transfer-model seam (flow/transfer_model.h): kFluid moves the payload
+  /// as rate-based flows on `flow_engine` instead of per-segment TCP data
+  /// streams. Control-channel RPCs, restart/verification logic and all
+  /// Perf/Restart markers are identical on both paths.
+  flow::TransferModel transfer_model = flow::TransferModel::kPacket;
+  /// Required when transfer_model == kFluid (falls back to the packet path
+  /// when null). Not owned.
+  flow::FlowEngine* flow_engine = nullptr;
 };
 
 struct TransferResult {
@@ -118,8 +127,13 @@ class FtpClient {
 
   void start_get_attempt(const std::shared_ptr<Transfer>& transfer);
   void start_put_attempt(const std::shared_ptr<Transfer>& transfer);
+  void start_fluid_get_attempt(const std::shared_ptr<Transfer>& transfer);
+  void start_fluid_put_attempt(const std::shared_ptr<Transfer>& transfer);
   void open_streams(const std::shared_ptr<Transfer>& transfer,
                     std::function<void()> when_ready);
+  void ensure_monitor(const std::shared_ptr<Transfer>& transfer);
+  void monitor_tick(const std::shared_ptr<Transfer>& transfer);
+  void cancel_flows(const std::shared_ptr<Transfer>& transfer);
   void finish_get_attempt(const std::shared_ptr<Transfer>& transfer,
                           Status status, std::span<const std::uint8_t> reply);
   void finish_put_attempt(const std::shared_ptr<Transfer>& transfer,

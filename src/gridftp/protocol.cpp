@@ -54,4 +54,22 @@ std::vector<ByteRange> partition_range(ByteRange range, int parts,
   return out;
 }
 
+std::vector<std::vector<ByteRange>> stripe_ranges(
+    const std::vector<ByteRange>& ranges, int streams) {
+  std::vector<std::vector<ByteRange>> per_stream(
+      static_cast<std::size_t>(streams > 0 ? streams : 1));
+  if (ranges.size() == 1) {
+    const auto parts =
+        partition_range(ranges.front(), streams, /*total_file_size=*/0);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      per_stream[i % per_stream.size()].push_back(parts[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      per_stream[i % per_stream.size()].push_back(ranges[i]);
+    }
+  }
+  return per_stream;
+}
+
 }  // namespace gdmp::gridftp

@@ -34,6 +34,12 @@ inline constexpr const char* kCmdSize = "SIZE";
 inline constexpr const char* kCmdChecksum = "CKSM";
 inline constexpr const char* kCmdDelete = "DELE";
 inline constexpr const char* kCmdTransferTo = "XFER";  // third-party control
+// Fluid-model data plane (flow/transfer_model.h): the payload moves as
+// rate-based flows, so these commands carry only metadata — FGET resolves
+// ranges and returns {total, crc, per-stripe seeds}; FPUT commits an
+// already-delivered file.
+inline constexpr const char* kCmdFluidGet = "FGET";
+inline constexpr const char* kCmdFluidPut = "FPUT";
 
 /// A byte range of a file. length == -1 means "to end of file".
 struct ByteRange {
@@ -68,5 +74,13 @@ struct BlockHeader {
 /// size (the pre-partitioned parallel-stream layout; see DESIGN.md).
 std::vector<ByteRange> partition_range(ByteRange range, int parts,
                                        Bytes total_file_size);
+
+/// Distributes resolved ranges across `streams` stripes exactly the way
+/// the server lays out a RETR: a single range is pre-partitioned into
+/// near-equal parts, multiple ranges (a restart's re-requests) go
+/// round-robin. Shared by the packet server and both fluid endpoints so
+/// stripe indices agree on every path.
+std::vector<std::vector<ByteRange>> stripe_ranges(
+    const std::vector<ByteRange>& ranges, int streams);
 
 }  // namespace gdmp::gridftp

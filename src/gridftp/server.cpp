@@ -133,6 +133,20 @@ FtpServer::FtpServer(net::TcpStack& stack, storage::DiskPool& pool,
         if (alive.expired()) return;
         handle_xfer(p, std::move(r));
       });
+  rpc_.register_method(
+      kCmdFluidGet, [this, alive](const security::GsiContext&, std::uint64_t,
+                                  std::span<const std::uint8_t> p,
+                                  rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
+        handle_fget(p, std::move(r));
+      });
+  rpc_.register_method(
+      kCmdFluidPut, [this, alive](const security::GsiContext&, std::uint64_t,
+                                  std::span<const std::uint8_t> p,
+                                  rpc::RpcServer::Respond r) {
+        if (alive.expired()) return;
+        handle_fput(p, std::move(r));
+      });
 }
 
 FtpServer::~FtpServer() {
@@ -422,21 +436,10 @@ void FtpServer::maybe_start_retr(const std::shared_ptr<DataSession>& session) {
   session->retr.started = true;
 
   // One requested range is pre-partitioned across the streams; a restart's
-  // multiple ranges go round-robin.
-  std::vector<std::vector<ByteRange>> per_stream(
-      static_cast<std::size_t>(session->expected_streams));
-  if (session->retr.ranges.size() == 1) {
-    auto parts = partition_range(session->retr.ranges.front(),
-                                 session->expected_streams,
-                                 /*total_file_size=*/0);
-    for (std::size_t i = 0; i < parts.size(); ++i) {
-      per_stream[i % per_stream.size()].push_back(parts[i]);
-    }
-  } else {
-    for (std::size_t i = 0; i < session->retr.ranges.size(); ++i) {
-      per_stream[i % per_stream.size()].push_back(session->retr.ranges[i]);
-    }
-  }
+  // multiple ranges go round-robin (stripe_ranges, shared with the fluid
+  // endpoints so stripe indices always agree).
+  const auto per_stream =
+      stripe_ranges(session->retr.ranges, session->expected_streams);
 
   for (std::size_t i = 0; i < session->streams.size(); ++i) {
     auto& stream = session->streams[i];
@@ -633,6 +636,8 @@ void FtpServer::handle_xfer(std::span<const std::uint8_t> params,
   TransferOptions options;
   options.parallel_streams = streams;
   options.tcp_buffer = buffer;
+  options.transfer_model = config_.transfer_model;
+  options.flow_engine = config_.flow_engine;
   client->put(dest_node, dest_port, pool_, path, dest_path, options,
               [client, respond = std::move(respond)](
                   Result<TransferResult> result) {
@@ -645,6 +650,120 @@ void FtpServer::handle_xfer(std::span<const std::uint8_t> params,
                 w.u32(result->crc);
                 respond(Status::ok(), w.take());
               });
+}
+
+void FtpServer::handle_fget(std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const std::string path = r.str();
+  int streams = static_cast<int>(r.u32());
+  const std::uint32_t n_ranges = r.u32();
+  std::vector<ByteRange> ranges;
+  for (std::uint32_t i = 0; i < n_ranges && r.ok(); ++i) {
+    ByteRange range;
+    range.offset = r.i64();
+    range.length = r.i64();
+    ranges.push_back(range);
+  }
+  if (!r.ok() || ranges.empty()) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed FGET"), {});
+    return;
+  }
+  if (streams < 1) streams = 1;
+  if (streams > config_.max_parallel_streams) {
+    streams = config_.max_parallel_streams;
+  }
+  auto file = pool_.lookup(path);
+  if (!file.is_ok()) {
+    respond(make_error(ErrorCode::kNotFound, "file not on disk: " + path),
+            {});
+    return;
+  }
+  // Same range resolution/validation as RETR against the current size.
+  Bytes total = 0;
+  Crc32 crc;
+  for (ByteRange& range : ranges) {
+    if (range.length < 0) range.length = file->size - range.offset;
+    if (range.offset < 0 || range.length < 0 ||
+        range.offset + range.length > file->size) {
+      respond(make_error(ErrorCode::kInvalidArgument, "range out of bounds"),
+              {});
+      return;
+    }
+    total += range.length;
+    crc.update_synthetic(file->content_seed, range.offset, range.length);
+  }
+  ++stats_.retrievals;
+  if (metrics_.retrievals) metrics_.retrievals->add();
+  stats_.bytes_sent += total;
+  if (metrics_.bytes_sent) metrics_.bytes_sent->add(total);
+  if (total > 0) pool_.disk().read(total, [] {});  // read-ahead, pipelined
+
+  // One seed per stripe: the fluid analogue of per-block content seeds. A
+  // poisoned stripe fails the client's CRC vote and gets re-requested, so
+  // the restart machinery is identical on both transfer models. The stripe
+  // layout is stripe_ranges(), the same partition the client derives.
+  const auto per_stream = stripe_ranges(ranges, streams);
+  rpc::Writer w;
+  w.i64(total);
+  w.u32(crc.value());
+  w.u32(static_cast<std::uint32_t>(per_stream.size()));
+  for (std::size_t i = 0; i < per_stream.size(); ++i) {
+    Bytes stripe_bytes = 0;
+    for (const ByteRange& range : per_stream[i]) stripe_bytes += range.length;
+    std::uint64_t seed = file->content_seed;
+    if (stripe_bytes > 0 && config_.corrupt_probability > 0 &&
+        fault_rng_.chance(config_.corrupt_probability)) {
+      seed ^= 0xbadc0ffee0ddf00dULL;
+      ++stats_.blocks_corrupted;
+      if (metrics_.blocks_corrupted) metrics_.blocks_corrupted->add();
+    }
+    w.u64(seed);
+    // Server-side perf marker: bytes committed to this stripe's flow.
+    if (stripe_bytes > 0 && channel_ != nullptr &&
+        channel_->has_subscribers()) {
+      obs::PerfMarker marker;
+      marker.time = stack_.simulator().now();
+      marker.path = path;
+      marker.bytes = stripe_bytes;
+      marker.stripe = static_cast<std::uint32_t>(i);
+      marker.stripe_count = static_cast<std::uint32_t>(per_stream.size());
+      channel_->perf(marker);
+    }
+  }
+  respond(Status::ok(), w.take());
+}
+
+void FtpServer::handle_fput(std::span<const std::uint8_t> params,
+                            rpc::RpcServer::Respond respond) {
+  rpc::Reader r(params);
+  const std::string path = r.str();
+  const Bytes total = r.i64();
+  const std::uint64_t seed = r.u64();
+  if (!r.ok() || total < 0) {
+    respond(make_error(ErrorCode::kInvalidArgument, "malformed FPUT"), {});
+    return;
+  }
+  // The commit arrives after the flows have drained, so reservation and
+  // materialisation collapse into one step (cf. check_stor_complete).
+  if (const Status reserved = pool_.reserve(total); !reserved.is_ok()) {
+    respond(reserved, {});
+    return;
+  }
+  pool_.release_reservation(total);
+  ++stats_.stores;
+  if (metrics_.stores) metrics_.stores->add();
+  stats_.bytes_received += total;
+  if (metrics_.bytes_received) metrics_.bytes_received->add(total);
+  auto added = pool_.add_file(path, total, seed, stack_.simulator().now());
+  if (!added.is_ok()) {
+    respond(added.status(), {});
+    return;
+  }
+  pool_.disk().write(total, [] {});
+  rpc::Writer w;
+  w.u32(crc32_synthetic(seed, 0, total));
+  respond(Status::ok(), w.take());
 }
 
 void FtpServer::fail_session(const std::shared_ptr<DataSession>& session,

@@ -17,6 +17,7 @@
 #include "common/det_hash.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "flow/transfer_model.h"
 #include "gridftp/block_stream.h"
 #include "gridftp/protocol.h"
 #include "obs/channel.h"
@@ -34,6 +35,11 @@ struct FtpServerConfig {
   int max_parallel_streams = 32;
   double corrupt_probability = 0.0;
   std::uint64_t fault_seed = 0x5eedf00d;
+  /// Transfer model for transfers this server *originates* (the sending
+  /// side of third-party XFER). Inbound FGET/FPUT are always served when a
+  /// client selects the fluid path.
+  flow::TransferModel transfer_model = flow::TransferModel::kPacket;
+  flow::FlowEngine* flow_engine = nullptr;  ///< not owned
 };
 
 struct FtpServerStats {
@@ -106,6 +112,10 @@ class FtpServer {
   void handle_dele(std::span<const std::uint8_t> params,
                    rpc::RpcServer::Respond respond);
   void handle_xfer(std::span<const std::uint8_t> params,
+                   rpc::RpcServer::Respond respond);
+  void handle_fget(std::span<const std::uint8_t> params,
+                   rpc::RpcServer::Respond respond);
+  void handle_fput(std::span<const std::uint8_t> params,
                    rpc::RpcServer::Respond respond);
 
   void on_data_connection(const std::shared_ptr<DataSession>& session,

@@ -23,6 +23,7 @@ bool Link::enqueue(const Packet& packet) {
   const SimTime start = std::max(busy_until_, simulator_.now());
   const SimTime done = start + transmission_delay(size, config_.bandwidth);
   busy_until_ = done;
+  busy_time_ += done - start;
 
   // The packet stops occupying queue space once fully serialized, and
   // arrives one propagation delay later. The packet itself waits in
@@ -46,6 +47,31 @@ bool Link::enqueue(const Packet& packet) {
 SimDuration Link::queueing_delay() const noexcept {
   const SimTime now = simulator_.now();
   return busy_until_ > now ? busy_until_ - now : 0;
+}
+
+SimDuration Link::busy_time() const noexcept {
+  // busy_time_ is credited at enqueue, including serialization scheduled
+  // beyond now; report only the part already elapsed.
+  return busy_time_ - queueing_delay();
+}
+
+void Link::set_metrics(const obs::MetricsScope& scope) {
+  utilization_gauge_ = scope.gauge("utilization");
+}
+
+double Link::sample_utilization() {
+  const SimTime now = simulator_.now();
+  const SimDuration busy = busy_time();
+  const SimDuration window = now - sample_anchor_;
+  const double fraction =
+      window > 0
+          ? static_cast<double>(busy - sample_busy_base_) /
+                static_cast<double>(window)
+          : 0.0;
+  sample_anchor_ = now;
+  sample_busy_base_ = busy;
+  if (utilization_gauge_ != nullptr) utilization_gauge_->set(fraction);
+  return fraction;
 }
 
 }  // namespace gdmp::net

@@ -13,6 +13,7 @@
 
 #include "common/types.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace gdmp::net {
@@ -45,12 +46,34 @@ class Link {
   const LinkConfig& config() const noexcept { return config_; }
   const LinkStats& stats() const noexcept { return stats_; }
 
+  /// Changes the serialization rate in place (mid-run capacity changes:
+  /// degraded production links, maintenance windows). Packets already
+  /// being serialized keep their old completion times. Fluid-model users
+  /// must also call FlowEngine::on_link_changed().
+  void set_bandwidth(BitsPerSec bandwidth) noexcept {
+    config_.bandwidth = bandwidth;
+  }
+
   /// Bytes currently queued or being serialized.
   Bytes backlog() const noexcept { return backlog_; }
 
-  /// Current utilization estimate: busy time fraction is not tracked; this
-  /// returns the queueing delay a newly arriving packet would see.
+  /// The queueing delay a newly arriving packet would see right now.
   SimDuration queueing_delay() const noexcept;
+
+  /// Cumulative time the transmitter has spent serializing bytes — the
+  /// real busy-time integral, as opposed to the instantaneous
+  /// queueing_delay() above. busy_time()/elapsed is the true utilization.
+  SimDuration busy_time() const noexcept;
+
+  /// Caches a "utilization" gauge under `scope`; sample_utilization()
+  /// publishes into it.
+  void set_metrics(const obs::MetricsScope& scope);
+
+  /// Busy-time fraction since the previous call (or since t=0 for the
+  /// first), published to the cached gauge and returned. Sampling is
+  /// caller-driven — a periodic self-timer would keep the event queue
+  /// non-empty and Simulator::run() would never terminate.
+  double sample_utilization();
 
  private:
   sim::Simulator& simulator_;
@@ -59,6 +82,10 @@ class Link {
   LinkStats stats_;
   Bytes backlog_ = 0;
   SimTime busy_until_ = 0;  // when the transmitter becomes idle
+  SimDuration busy_time_ = 0;  // serialization time accumulated so far
+  obs::Gauge* utilization_gauge_ = nullptr;
+  SimTime sample_anchor_ = 0;         // window start of the last sample
+  SimDuration sample_busy_base_ = 0;  // busy_time() at the window start
   /// Packets serialized but not yet delivered. Kept here (FIFO — delivery
   /// times are monotone: serialization completions are ordered and the
   /// propagation delay is constant) so the delivery events capture only

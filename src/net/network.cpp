@@ -85,6 +85,35 @@ Node* Network::find(std::string_view name) noexcept {
   return it == by_name_.end() ? nullptr : nodes_[it->second].get();
 }
 
+bool Network::path_links(NodeId from, NodeId to, std::vector<Link*>& out) {
+  if (from == to || from < 0 || to < 0 ||
+      static_cast<std::size_t>(from) >= nodes_.size() ||
+      static_cast<std::size_t>(to) >= nodes_.size()) {
+    return false;
+  }
+  const std::size_t before = out.size();
+  NodeId at = from;
+  // Routes are loop-free by construction; the hop bound guards a walk
+  // started before compute_routes() refreshed a grown topology.
+  for (std::size_t hops = 0; hops < nodes_.size(); ++hops) {
+    const Node& node = *nodes_[at];
+    if (static_cast<std::size_t>(to) >= node.next_hop_interface_.size()) {
+      out.resize(before);
+      return false;
+    }
+    const std::int32_t iface = node.next_hop_interface_[to];
+    if (iface < 0) {
+      out.resize(before);
+      return false;
+    }
+    out.push_back(node.interfaces_[iface].link.get());
+    at = node.interfaces_[iface].peer;
+    if (at == to) return true;
+  }
+  out.resize(before);
+  return false;
+}
+
 Link* Network::link_between(const Node& a, const Node& b) noexcept {
   for (const auto& iface : a.interfaces_) {
     if (iface.peer == b.id()) return iface.link.get();

@@ -44,6 +44,13 @@ class Network {
   /// queue statistics.
   Link* link_between(const Node& a, const Node& b) noexcept;
 
+  /// Appends the directed links a packet from `from` to `to` would
+  /// traverse (routing tables from compute_routes()). Returns false —
+  /// leaving `out` untouched beyond prior contents — when no route
+  /// exists. The fluid transfer model (src/flow) uses this to pin a
+  /// flow's path once at start instead of routing per segment.
+  bool path_links(NodeId from, NodeId to, std::vector<Link*>& out);
+
   sim::Simulator& simulator() noexcept { return simulator_; }
 
  private:

@@ -22,6 +22,11 @@ Grid::Grid(GridConfig config)
   rc_lan.queue_capacity = 4 * kMiB;
   network_.connect(rc_host, *topology_.core, rc_lan);
   network_.compute_routes();
+  if (config_.transfer_model == flow::TransferModel::kFluid) {
+    flow_engine_ = std::make_unique<flow::FlowEngine>(simulator_, network_,
+                                                      config_.fluid);
+    flow_engine_->set_metrics(metrics_.scope("grid.flow"));
+  }
   catalog_node_ = rc_host.id();
   catalog_stack_ = std::make_unique<net::TcpStack>(simulator_, rc_host);
   constexpr SimDuration kYear = 365LL * 24 * 3600 * kSecond;
@@ -32,28 +37,51 @@ Grid::Grid(GridConfig config)
   for (std::size_t i = 0; i < config_.sites.size(); ++i) {
     GridSiteSpec& spec = config_.sites[i];
     spec.site.gdmp.catalog_host = catalog_node_;
+    if (flow_engine_) {
+      spec.site.transfer_model = flow::TransferModel::kFluid;
+      spec.site.flow_engine = flow_engine_.get();
+    }
     auto site = std::make_unique<Site>(simulator_, network_,
                                        *topology_.hosts[i], ca_, model_,
                                        spec.site);
     sites_.push_back(std::move(site));
+    if (net::Link* up_link = uplink(i)) {
+      up_link->set_metrics(metrics_.scope("grid.uplink." + spec.name));
+    }
 
     if (spec.cross_traffic > 0) {
-      // Shared production link: constant-bit-rate background in both
-      // directions of the site uplink (`cross_traffic` each way).
-      net::CbrConfig cbr;
-      cbr.rate = spec.cross_traffic;
-      cross_sinks_.push_back(
-          std::make_unique<net::DatagramSink>(*topology_.hosts[i]));
-      auto up = std::make_unique<net::CbrSource>(
-          network_, *topology_.hosts[i], *topology_.core, cbr,
-          config_.seed ^ (0x1111ULL * (i + 1)));
-      auto down = std::make_unique<net::CbrSource>(
-          network_, *topology_.core, *topology_.hosts[i], cbr,
-          config_.seed ^ (0x2222ULL * (i + 1)));
-      up->start();
-      down->start();
-      cross_sources_.push_back(std::move(up));
-      cross_sources_.push_back(std::move(down));
+      if (flow_engine_) {
+        // Fluid analogue of the CBR pair: a pinned (unresponsive) flow in
+        // each direction takes `cross_traffic` off the uplink with zero
+        // per-packet events. Unbounded, so they never complete.
+        for (const auto& [src, dst] :
+             {std::pair{topology_.hosts[i], topology_.core},
+              std::pair{topology_.core, topology_.hosts[i]}}) {
+          flow::FlowSpec cross;
+          cross.src = src->id();
+          cross.dst = dst->id();
+          cross.bytes = flow::kUnboundedBytes;
+          cross.pinned_rate = spec.cross_traffic;
+          (void)flow_engine_->start(cross, [](const flow::FlowDone&) {});
+        }
+      } else {
+        // Shared production link: constant-bit-rate background in both
+        // directions of the site uplink (`cross_traffic` each way).
+        net::CbrConfig cbr;
+        cbr.rate = spec.cross_traffic;
+        cross_sinks_.push_back(
+            std::make_unique<net::DatagramSink>(*topology_.hosts[i]));
+        auto up = std::make_unique<net::CbrSource>(
+            network_, *topology_.hosts[i], *topology_.core, cbr,
+            config_.seed ^ (0x1111ULL * (i + 1)));
+        auto down = std::make_unique<net::CbrSource>(
+            network_, *topology_.core, *topology_.hosts[i], cbr,
+            config_.seed ^ (0x2222ULL * (i + 1)));
+        up->start();
+        down->start();
+        cross_sources_.push_back(std::move(up));
+        cross_sources_.push_back(std::move(down));
+      }
     }
   }
 }
@@ -77,6 +105,12 @@ Site* Grid::find_site(const std::string& name) noexcept {
 
 net::Link* Grid::uplink(std::size_t index) noexcept {
   return network_.link_between(*topology_.gateways[index], *topology_.core);
+}
+
+void Grid::sample_uplink_utilization() {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (net::Link* link = uplink(i)) (void)link->sample_utilization();
+  }
 }
 
 GridConfig two_site_config(const std::string& a, const std::string& b,

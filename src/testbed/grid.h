@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "flow/flow_engine.h"
 #include "gdmp/catalog_service.h"
 #include "net/cross_traffic.h"
 #include "net/topology.h"
@@ -30,6 +31,12 @@ struct GridConfig {
   std::vector<GridSiteSpec> sites;
   std::int64_t event_count = 100'000;
   std::uint64_t seed = 42;
+  /// Grid-wide transfer-model selection. kFluid builds one shared
+  /// FlowEngine, threads it into every site, and replaces CBR cross
+  /// traffic with pinned flows (same uplink occupancy, zero packet
+  /// events). Per-site overrides go through GridSiteSpec::site.
+  flow::TransferModel transfer_model = flow::TransferModel::kPacket;
+  flow::FluidConfig fluid{};
 };
 
 class Grid {
@@ -61,6 +68,17 @@ class Grid {
   /// The bottleneck link from site `index`'s gateway toward the core.
   net::Link* uplink(std::size_t index) noexcept;
 
+  /// Null unless transfer_model == kFluid.
+  flow::FlowEngine* flow_engine() noexcept { return flow_engine_.get(); }
+
+  /// Grid-scope instruments: "grid.flow.*" (fluid engine) and
+  /// "grid.uplink.<site>.utilization" (busy-time fraction gauges).
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Publishes the busy-time fraction of every site uplink since the last
+  /// call (satellite gauges are caller-sampled; nothing self-schedules).
+  void sample_uplink_utilization();
+
  private:
   GridConfig config_;
   sim::Simulator simulator_;
@@ -68,6 +86,9 @@ class Grid {
   security::CertificateAuthority ca_;
   objstore::EventModel model_;
   net::GridTopology topology_;
+  // Declared before the flow engine and sites: both cache metric pointers.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<flow::FlowEngine> flow_engine_;
   net::NodeId catalog_node_ = net::kInvalidNode;
   std::unique_ptr<net::TcpStack> catalog_stack_;
   std::unique_ptr<core::CatalogServer> catalog_server_;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "flow/transfer_model.h"
 #include "gdmp/client.h"
 #include "gdmp/server.h"
 #include "gridftp/server.h"
@@ -33,6 +34,12 @@ struct SiteConfig {
   /// null) and the transfer channel gets no registry subscriber — the
   /// compiled-in-but-disabled mode bench_obs_overhead measures.
   bool enable_metrics = true;
+  /// Transfer-model seam: kFluid moves every replication payload this site
+  /// originates (GDMP pulls, XFER pushes) as rate-based flows on
+  /// `flow_engine` instead of per-segment TCP streams. Copied into
+  /// gdmp.transfer and ftp at construction, so leave those fields alone.
+  flow::TransferModel transfer_model = flow::TransferModel::kPacket;
+  flow::FlowEngine* flow_engine = nullptr;  ///< not owned
 };
 
 class Site {

@@ -1,7 +1,7 @@
 // determinism_check: proves the sim-determinism invariant dynamically.
 //
-//   $ ./tools/determinism_check ./examples/observability [--seed N]
-//                                                        [--hash-perturb]
+//   $ ./tools/determinism_check [--seed N] [--hash-perturb]
+//                               ./examples/observability [workload args...]
 //
 // Runs the given workload binary twice with the same seed (GDMP_SEED) and a
 // per-run GDMP_TRACE_FILE, then requires:
@@ -38,14 +38,14 @@ namespace {
 
 using gdmp::obs::JsonValue;
 
-/// Runs `binary` with GDMP_SEED/GDMP_HASH_SEED/GDMP_TRACE_FILE set,
-/// capturing stdout.
-bool run_workload(const std::string& binary, const std::string& seed,
+/// Runs `command_tail` (binary + workload args, already shell-quoted) with
+/// GDMP_SEED/GDMP_HASH_SEED/GDMP_TRACE_FILE set, capturing stdout.
+bool run_workload(const std::string& command_tail, const std::string& seed,
                   const std::string& hash_seed, const std::string& trace_file,
                   std::string& stdout_text) {
   const std::string command = "GDMP_SEED='" + seed + "' GDMP_HASH_SEED='" +
                               hash_seed + "' GDMP_TRACE_FILE='" + trace_file +
-                              "' '" + binary + "' 2>/dev/null";
+                              "' " + command_tail + " 2>/dev/null";
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return false;
   char buffer[4096];
@@ -174,22 +174,28 @@ bool file_exists(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string binary;
+  std::string command_tail;
   std::string seed = "42";
   bool hash_perturb = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--seed" && i + 1 < argc) {
+    if (binary.empty() && arg == "--seed" && i + 1 < argc) {
       seed = argv[++i];
-    } else if (arg == "--hash-perturb") {
+    } else if (binary.empty() && arg == "--hash-perturb") {
       hash_perturb = true;
     } else if (binary.empty()) {
       binary = arg;
+      command_tail = "'" + binary + "'";
+    } else {
+      // Everything after the binary is passed through to the workload
+      // (e.g. `determinism_check ./bench/bench_flow --smoke`).
+      command_tail += " '" + arg + "'";
     }
   }
   if (binary.empty()) {
     std::fprintf(stderr,
-                 "usage: determinism_check <workload-binary> [--seed N] "
-                 "[--hash-perturb]\n");
+                 "usage: determinism_check [--seed N] [--hash-perturb] "
+                 "<workload-binary> [workload args...]\n");
     return 2;
   }
 
@@ -204,11 +210,11 @@ int main(int argc, char** argv) {
   const std::string trace2 = "/tmp/gdmp-det-" + tag + "-2.json";
 
   std::string out1, out2;
-  if (!run_workload(binary, seed, hash1, trace1, out1)) {
+  if (!run_workload(command_tail, seed, hash1, trace1, out1)) {
     std::fprintf(stderr, "determinism_check: run 1 failed\n");
     return 1;
   }
-  if (!run_workload(binary, seed, hash2, trace2, out2)) {
+  if (!run_workload(command_tail, seed, hash2, trace2, out2)) {
     std::fprintf(stderr, "determinism_check: run 2 failed\n");
     return 1;
   }
