@@ -10,12 +10,15 @@
 #      (ctest label bench_smoke) so the perf harnesses cannot bit-rot.
 #   4. trace export smoke test (observability example -> Chrome trace_event
 #      JSON -> trace_check validates the replication span chain).
-#   5. determinism check — scheduler (observability), object-replication
+#   5. rollup smoke test (observability example with its 60 s heartbeat ->
+#      JSONL rollup stream -> obs_report --validate + summary).
+#   6. determinism check — scheduler (observability), object-replication
 #      (hep_analysis) and fluid-transfer (bench_flow --smoke) workloads
 #      must produce byte-identical output across two same-seed runs, and
 #      again with --hash-perturb, where the two runs get different
 #      GDMP_HASH_SEED salts scrambling every unordered container's
-#      iteration order.
+#      iteration order. determinism_check also sets GDMP_ROLLUP_FILE, so
+#      the observability runs must replay their rollup stream to the byte.
 #
 #   scripts/check.sh            # lint + all presets + smoke + determinism
 #   scripts/check.sh default    # just one preset (skips lint/smoke)
@@ -53,11 +56,17 @@ if [ "$smoke" -eq 1 ]; then
 
   echo "==> trace export smoke test"
   trace_file="$(mktemp /tmp/gdmp-trace.XXXXXX.json)"
-  trap 'rm -f "$trace_file"' EXIT
+  rollup_file="$(mktemp /tmp/gdmp-rollup.XXXXXX.jsonl)"
+  trap 'rm -f "$trace_file" "$rollup_file"' EXIT
   GDMP_TRACE_FILE="$trace_file" ./build/examples/observability >/dev/null
   ./build/tools/trace_check "$trace_file" --require \
     rpc.request sched.request sched.queue_wait gdmp.replicate \
     gridftp.transfer gridftp.stream gridftp.crc_check gdmp.catalog_update
+
+  echo "==> rollup smoke test (heartbeat JSONL -> obs_report)"
+  GDMP_ROLLUP_FILE="$rollup_file" ./build/examples/observability >/dev/null
+  ./build/tools/obs_report --validate "$rollup_file"
+  ./build/tools/obs_report "$rollup_file" >/dev/null
 
   echo "==> determinism check [scheduler workload]"
   ./build/tools/determinism_check ./build/examples/observability

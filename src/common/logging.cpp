@@ -63,8 +63,11 @@ void Logger::log(LogLevel level, std::string_view component,
                  std::string_view msg) {
   std::string line;
   if (clock_) {
+    // Simulated time only (never wallclock — gdmp_lint enforces this), in
+    // the fixed "[t=12.500s]" form so interleaved multi-site traces align
+    // and byte-compare across same-seed runs.
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "t=%.6fs ", to_seconds(clock_()));
+    std::snprintf(buf, sizeof(buf), "[t=%.3fs] ", to_seconds(clock_()));
     line += buf;
   }
   line += component;

@@ -164,11 +164,33 @@ double FlowEngine::link_utilization(const net::Link* link) const noexcept {
   return load / state.capacity;
 }
 
+double FlowEngine::link_bytes_moved(const net::Link* link) const noexcept {
+  const auto it = link_index_.find(link);
+  if (it == link_index_.end()) return 0.0;
+  const LinkState& state = links_[it->second];
+  double total = state.bytes_moved;
+  // Resident flows have settled state only as of their last renegotiation;
+  // add the portion each has moved since (settle() will credit it later).
+  for (const std::uint32_t slot : state.flows) {
+    const FlowState& flow = flows_[slot];
+    total += flow.remaining - remaining_now(flow);
+  }
+  return total;
+}
+
 void FlowEngine::settle(FlowState& flow, SimTime now) {
   if (now <= flow.settled_at) return;
-  flow.remaining -= flow.rate * to_seconds(now - flow.settled_at) / 8.0;
-  if (flow.remaining < 0.0) flow.remaining = 0.0;
+  double moved = flow.rate * to_seconds(now - flow.settled_at) / 8.0;
+  if (moved > flow.remaining) moved = flow.remaining;
+  flow.remaining -= moved;
   flow.settled_at = now;
+  // Per-link byte accounting for fair-share traffic. Pinned flows are
+  // background load, not transfers — see link_bytes_moved().
+  if (!flow.pinned && moved > 0.0) {
+    for (const std::int32_t li : flow.path) {
+      links_[li].bytes_moved += moved;
+    }
+  }
 }
 
 double FlowEngine::remaining_now(const FlowState& flow) const noexcept {

@@ -72,6 +72,13 @@ class FlowEngine {
   /// net::Link::busy_time() which only moves under the packet model.
   double link_utilization(const net::Link* link) const noexcept;
 
+  /// Cumulative payload bytes fair-share flows have moved across `link`
+  /// as of now() — settled credit plus each resident flow's unsettled
+  /// in-flight portion, so the value is exact between renegotiations.
+  /// Pinned (background) flows are excluded: they model cross-traffic
+  /// load, not transfers. 0 for unknown links.
+  double link_bytes_moved(const net::Link* link) const noexcept;
+
   std::size_t active_flows() const noexcept { return active_count_; }
   const FlowEngineStats& stats() const noexcept { return stats_; }
   const FluidConfig& config() const noexcept { return config_; }
@@ -109,6 +116,7 @@ class FlowEngine {
     double capacity = 0.0;  // payload bits/s (wire bandwidth × efficiency)
     double pinned = 0.0;    // payload load of pinned flows
     std::vector<std::uint32_t> flows;  // active fair-share flows crossing
+    double bytes_moved = 0.0;  // settled fair-share payload bytes
     bool dirty = false;
     std::int32_t share_index = -1;  // renegotiation scratch
   };

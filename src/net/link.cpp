@@ -39,6 +39,8 @@ bool Link::enqueue(const Packet& packet) {
     if (alive.expired()) return;
     const Packet arrived = std::move(in_flight_.front());
     in_flight_.pop_front();
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += arrived.wire_size();
     deliver_(arrived);
   });
   return true;
@@ -57,20 +59,43 @@ SimDuration Link::busy_time() const noexcept {
 
 void Link::set_metrics(const obs::MetricsScope& scope) {
   utilization_gauge_ = scope.gauge("utilization");
+  bytes_sent_counter_ = scope.counter("bytes_sent");
+  bytes_delivered_counter_ = scope.counter("bytes_delivered");
+  packets_dropped_counter_ = scope.counter("packets_dropped");
 }
 
 double Link::sample_utilization() {
   const SimTime now = simulator_.now();
-  const SimDuration busy = busy_time();
   const SimDuration window = now - sample_anchor_;
-  const double fraction =
-      window > 0
-          ? static_cast<double>(busy - sample_busy_base_) /
-                static_cast<double>(window)
-          : 0.0;
+  if (window <= 0) {
+    // No sim time has passed since the last sample: there is nothing to
+    // measure. Keep the anchors and the gauge as they are — publishing a
+    // fabricated 0 (or 0/0) would put a bogus point in the series.
+    return last_utilization_;
+  }
+  const SimDuration busy = busy_time();
+  const double fraction = static_cast<double>(busy - sample_busy_base_) /
+                          static_cast<double>(window);
   sample_anchor_ = now;
   sample_busy_base_ = busy;
+  last_utilization_ = fraction;
   if (utilization_gauge_ != nullptr) utilization_gauge_->set(fraction);
+  // Mirror the byte/drop totals into monotone counters by delta, so the
+  // heartbeat's counter series (and the conservation watchdog) see them.
+  if (bytes_sent_counter_ != nullptr) {
+    bytes_sent_counter_->add(stats_.bytes_sent - published_.bytes_sent);
+    published_.bytes_sent = stats_.bytes_sent;
+  }
+  if (bytes_delivered_counter_ != nullptr) {
+    bytes_delivered_counter_->add(stats_.bytes_delivered -
+                                  published_.bytes_delivered);
+    published_.bytes_delivered = stats_.bytes_delivered;
+  }
+  if (packets_dropped_counter_ != nullptr) {
+    packets_dropped_counter_->add(stats_.packets_dropped -
+                                  published_.packets_dropped);
+    published_.packets_dropped = stats_.packets_dropped;
+  }
   return fraction;
 }
 

@@ -27,8 +27,10 @@ struct LinkConfig {
 struct LinkStats {
   std::int64_t packets_sent = 0;
   std::int64_t packets_dropped = 0;
+  std::int64_t packets_delivered = 0;
   Bytes bytes_sent = 0;    // wire bytes serialized
   Bytes bytes_dropped = 0;
+  Bytes bytes_delivered = 0;  // wire bytes handed to the receiver
 };
 
 class Link {
@@ -65,14 +67,17 @@ class Link {
   /// queueing_delay() above. busy_time()/elapsed is the true utilization.
   SimDuration busy_time() const noexcept;
 
-  /// Caches a "utilization" gauge under `scope`; sample_utilization()
-  /// publishes into it.
+  /// Caches a "utilization" gauge and byte/drop counters under `scope`;
+  /// sample_utilization() publishes into them.
   void set_metrics(const obs::MetricsScope& scope);
 
   /// Busy-time fraction since the previous call (or since t=0 for the
   /// first), published to the cached gauge and returned. Sampling is
   /// caller-driven — a periodic self-timer would keep the event queue
-  /// non-empty and Simulator::run() would never terminate.
+  /// non-empty and Simulator::run() would never terminate. Called twice at
+  /// the same instant (an empty window), it returns the previous fraction
+  /// and publishes nothing: there is no new interval to measure, and a
+  /// fabricated 0 would corrupt the utilization series.
   double sample_utilization();
 
  private:
@@ -84,8 +89,15 @@ class Link {
   SimTime busy_until_ = 0;  // when the transmitter becomes idle
   SimDuration busy_time_ = 0;  // serialization time accumulated so far
   obs::Gauge* utilization_gauge_ = nullptr;
+  obs::Counter* bytes_sent_counter_ = nullptr;
+  obs::Counter* bytes_delivered_counter_ = nullptr;
+  obs::Counter* packets_dropped_counter_ = nullptr;
   SimTime sample_anchor_ = 0;         // window start of the last sample
   SimDuration sample_busy_base_ = 0;  // busy_time() at the window start
+  double last_utilization_ = 0.0;     // returned for empty sample windows
+  // LinkStats values already mirrored into the counters (delta-synced each
+  // sample, so counters stay monotone however often stats_ moves).
+  LinkStats published_;
   /// Packets serialized but not yet delivered. Kept here (FIFO — delivery
   /// times are monotone: serialization completions are ordered and the
   /// propagation delay is constant) so the delivery events capture only

@@ -86,6 +86,7 @@ MetricsRegistry::Slot* MetricsRegistry::find_or_create(std::string_view name,
   Slot slot;
   slot.kind = kind;
   it = metrics_.emplace(std::string(name), std::move(slot)).first;
+  ++generation_;
   return &it->second;
 }
 
@@ -122,7 +123,17 @@ MetricsScope MetricsRegistry::scope(std::string prefix) {
   return MetricsScope(this, std::move(prefix));
 }
 
-void MetricsRegistry::clear() { metrics_.clear(); }
+void MetricsRegistry::clear() {
+  metrics_.clear();
+  ++generation_;
+}
+
+void MetricsRegistry::visit(const Visitor& fn) const {
+  for (const auto& [name, slot] : metrics_) {
+    fn(name, slot.kind, slot.counter.get(), slot.gauge.get(),
+       slot.histogram.get());
+  }
+}
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;

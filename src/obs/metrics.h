@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -122,6 +123,21 @@ class MetricsRegistry {
   std::string to_json() const { return snapshot().to_json(); }
   std::string dump() const { return snapshot().dump(); }
 
+  /// Name-ordered visitation without snapshot allocation; exactly one of
+  /// the metric pointers is non-null per call (the one matching `kind`).
+  /// The heartbeat fast path (obs/timeseries.h) resolves its pointer plan
+  /// through this.
+  using Visitor = std::function<void(const std::string& name, MetricKind kind,
+                                     const Counter* counter,
+                                     const Gauge* gauge,
+                                     const Histogram* histogram)>;
+  void visit(const Visitor& fn) const;
+
+  /// Monotonic structure version: bumped when a metric is created and when
+  /// the registry is cleared, so pointer-caching consumers know when their
+  /// cached Counter*/Gauge*/Histogram* must be re-resolved.
+  std::uint64_t generation() const noexcept { return generation_; }
+
   std::size_t size() const noexcept { return metrics_.size(); }
   void clear();
 
@@ -136,6 +152,7 @@ class MetricsRegistry {
   Slot* find_or_create(std::string_view name, MetricKind kind);
 
   std::map<std::string, Slot, std::less<>> metrics_;
+  std::uint64_t generation_ = 0;
   // Fallbacks for kind-mismatch registrations (kept out of snapshots).
   Counter scratch_counter_;
   Gauge scratch_gauge_;

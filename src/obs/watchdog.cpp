@@ -1,0 +1,94 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+
+namespace gdmp::obs {
+
+bool watch_glob_match(std::string_view pattern, std::string_view name,
+                      std::string* capture) {
+  const std::size_t star = pattern.find('*');
+  if (star == std::string_view::npos) {
+    if (name != pattern) return false;
+    if (capture != nullptr) capture->clear();
+    return true;
+  }
+  const std::string_view prefix = pattern.substr(0, star);
+  const std::string_view suffix = pattern.substr(star + 1);
+  if (name.size() < prefix.size() + suffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name.substr(name.size() - suffix.size()) != suffix) return false;
+  if (capture != nullptr) {
+    capture->assign(name.substr(prefix.size(),
+                                name.size() - prefix.size() - suffix.size()));
+  }
+  return true;
+}
+
+namespace {
+
+/// Substitutes `capture` for the '*' in `pattern` (identity without one).
+std::string expand_pattern(std::string_view pattern,
+                           std::string_view capture) {
+  const std::size_t star = pattern.find('*');
+  if (star == std::string_view::npos) return std::string(pattern);
+  std::string out;
+  out.reserve(pattern.size() + capture.size());
+  out.append(pattern.substr(0, star));
+  out.append(capture);
+  out.append(pattern.substr(star + 1));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Alert> Watchdog::evaluate(const TimeSeriesStore& store) {
+  std::vector<Alert> fired;
+  std::string capture;
+  auto check = [&](std::size_t rule_index, const WatchRule& rule,
+                   const std::string& metric, bool breached, double value) {
+    int& streak = streaks_[{rule_index, metric}];
+    if (!breached) {
+      streak = 0;
+      return;
+    }
+    ++streak;
+    const int required = rule.for_ticks > 1 ? rule.for_ticks : 1;
+    // Fire only on the tick the streak reaches `required`; the streak keeps
+    // counting while the breach holds, so the rule re-arms when it clears.
+    if (streak != required) return;
+    Alert alert;
+    alert.rule = rule.name;
+    alert.metric = metric;
+    alert.value = value;
+    alert.threshold = rule.threshold;
+    fired.push_back(std::move(alert));
+  };
+
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const WatchRule& rule = rules_[r];
+    switch (rule.kind) {
+      case WatchRule::Kind::kGaugeCeiling:
+        for (const auto& [name, series] : store.gauges()) {
+          if (!watch_glob_match(rule.metric, name, nullptr)) continue;
+          check(r, rule, name, series.value >= rule.threshold, series.value);
+        }
+        break;
+      case WatchRule::Kind::kConservation:
+        for (const auto& [name, series] : store.counters()) {
+          if (!watch_glob_match(rule.metric, name, &capture)) continue;
+          const auto partner =
+              store.counters().find(expand_pattern(rule.metric_b, capture));
+          if (partner == store.counters().end()) {
+            continue;  // no partner series: nothing to conserve against
+          }
+          const double drift =
+              static_cast<double>(series.total - partner->second.total);
+          check(r, rule, name, drift > rule.threshold, drift);
+        }
+        break;
+    }
+  }
+  return fired;
+}
+
+}  // namespace gdmp::obs

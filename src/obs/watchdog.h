@@ -1,0 +1,76 @@
+// Watchdog: deterministic rules evaluated over heartbeat ticks.
+//
+// Three wired shapes (DESIGN.md §5g):
+//   gauge ceiling    a gauge at or above `threshold` for `for_ticks`
+//                    consecutive ticks (queue-depth ceilings with
+//                    for_ticks=1, link-saturation with for_ticks>1 so one
+//                    busy sample does not page anyone);
+//   conservation     two counter totals paired by a '*' capture
+//                    (bytes_sent vs bytes_delivered per link) drifting
+//                    apart by more than `threshold` — bytes legitimately
+//                    in flight set the tolerance.
+//
+// An alert fires on the tick the condition is first sustained and re-arms
+// once it clears, so a saturated link pages once per episode, not once per
+// tick. Evaluation order is rules in add order × metrics in name order —
+// fully deterministic, so alert streams byte-compare across replays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace gdmp::obs {
+
+struct WatchRule {
+  enum class Kind { kGaugeCeiling, kConservation };
+
+  std::string name;  ///< alert id; also the "obs.alert.<name>" counter
+  Kind kind = Kind::kGaugeCeiling;
+  /// Metric name pattern; one '*' matches any run of characters
+  /// ("site.*.sched.queue_depth"). No '*' means exact match.
+  std::string metric;
+  /// Conservation partner pattern; the '*' capture from `metric`
+  /// substitutes into it ("grid.uplink.*.bytes_delivered"). Metrics whose
+  /// partner is absent are skipped, never alerted on.
+  std::string metric_b;
+  double threshold = 0.0;
+  int for_ticks = 1;  ///< gauge ceiling: consecutive ticks before firing
+};
+
+struct Alert {
+  std::string rule;
+  std::string metric;
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+/// Matches `name` against `pattern` (at most one '*'); on success stores
+/// the characters the '*' consumed into `capture`.
+bool watch_glob_match(std::string_view pattern, std::string_view name,
+                      std::string* capture);
+
+class Watchdog {
+ public:
+  void add_rule(WatchRule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<WatchRule>& rules() const noexcept { return rules_; }
+  bool empty() const noexcept { return rules_.empty(); }
+
+  /// One tick: evaluates every rule against the store's current series
+  /// (gauge rules over gauges(), conservation over counter totals) and
+  /// returns the alerts that fired on this tick (crossing edges only).
+  std::vector<Alert> evaluate(const TimeSeriesStore& store);
+
+ private:
+  std::vector<WatchRule> rules_;
+  /// Consecutive-tick streak per (rule index, metric name); ordered so the
+  /// watchdog itself never iterates in hash order.
+  std::map<std::pair<std::size_t, std::string>, int> streaks_;
+};
+
+}  // namespace gdmp::obs

@@ -69,6 +69,29 @@ class EventHeap {
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
 
+  /// Scheduled events currently flagged as daemons (the firing event is
+  /// detached and not counted). Simulator::run() stops when only daemons
+  /// remain: size() == daemon_count().
+  std::size_t daemon_count() const noexcept { return daemon_count_; }
+
+  /// Flags or clears an event's daemon status (periodic monitoring ticks
+  /// that must never keep the simulation alive). Sticky across the firing
+  /// protocol: a daemon that re-arms stays a daemon. Returns false for
+  /// stale handles.
+  bool set_daemon(EventHandle h, bool on) noexcept {
+    Slot* s = resolve(h);
+    if (s == nullptr) return false;
+    if (s->state == Slot::kScheduled && s->daemon != on) {
+      if (on) {
+        ++daemon_count_;
+      } else {
+        --daemon_count_;
+      }
+    }
+    s->daemon = on;
+    return true;
+  }
+
   /// Earliest (time, seq) in the heap; undefined when empty.
   Minimum peek() const noexcept {
     assert(!heap_.empty());
@@ -102,6 +125,7 @@ class EventHeap {
       firing_cancelled_ = true;
       return true;
     }
+    if (s->daemon) --daemon_count_;
     remove_node(s->heap_pos);
     release_slot(h.slot_index());
     return true;
@@ -135,6 +159,7 @@ class EventHeap {
     const Node top = heap_[0];
     remove_node(0);
     Slot& s = slots_[top.slot];
+    if (s.daemon) --daemon_count_;
     firing_fn_ = std::move(s.fn);
     s.state = Slot::kFiring;
     firing_slot_ = top.slot;
@@ -156,6 +181,7 @@ class EventHeap {
     if (rearm_ && !firing_cancelled_) {
       s.fn = std::move(firing_fn_);
       s.state = Slot::kScheduled;
+      if (s.daemon) ++daemon_count_;
       const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
       heap_.push_back(Node{rearm_time_, rearm_seq_, slot});
       s.heap_pos = pos;
@@ -181,6 +207,7 @@ class EventHeap {
     std::uint64_t gen = 1;
     std::uint32_t heap_pos = 0;
     State state = kFree;
+    bool daemon = false;
   };
 
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
@@ -222,6 +249,7 @@ class EventHeap {
     s.fn.reset();
     ++s.gen;
     s.state = Slot::kFree;
+    s.daemon = false;
     free_slots_.push_back(slot);
   }
 
@@ -279,6 +307,7 @@ class EventHeap {
     }
   }
 
+  std::size_t daemon_count_ = 0;
   std::vector<Node> heap_;
   // Slots never move (deque), so growing the pool while callbacks are in
   // flight cannot invalidate anything; freed slots are recycled via the

@@ -31,7 +31,9 @@ void Simulator::fire_next() {
 std::size_t Simulator::run() {
   std::size_t count = 0;
   stop_requested_ = false;
-  while (!stop_requested_ && !heap_.empty()) {
+  // Daemons (monitoring heartbeats) never hold the run open: stop as soon
+  // as every remaining event is one.
+  while (!stop_requested_ && heap_.size() > heap_.daemon_count()) {
     fire_next();
     ++count;
   }
@@ -78,10 +80,16 @@ void PeriodicTimer::stop() {
   pending_ = EventHandle();
 }
 
+void PeriodicTimer::set_daemon(bool on) {
+  daemon_ = on;
+  simulator_.set_daemon(pending_, on);  // no-op on a stale/unarmed handle
+}
+
 void PeriodicTimer::arm() {
   // Re-arm in place: when called from within the tick event's own callback
   // (the steady state), this keeps the slot, the closure and the weak guard
-  // alive across fires — no per-tick construction at all.
+  // alive across fires — no per-tick construction at all (the slot's daemon
+  // flag survives the firing protocol too).
   if (simulator_.reschedule(pending_, period_)) return;
   // First arm after start(): the timer may be destroyed while an event is
   // in flight; the weak alive flag keeps the callback from touching a dead
@@ -92,6 +100,7 @@ void PeriodicTimer::arm() {
     tick_();
     if (running_) arm();
   });
+  if (daemon_) simulator_.set_daemon(pending_, true);
 }
 
 }  // namespace gdmp::sim

@@ -64,7 +64,9 @@ class Simulator {
   /// reschedule() with an absolute target time (clamped to `now()`).
   bool reschedule_at(EventHandle handle, SimTime when);
 
-  /// Runs events until the queue empties. Returns the number fired.
+  /// Runs events until only daemon events (if any) remain. Returns the
+  /// number fired. Daemons interleave normally while the queue holds real
+  /// work; they never keep the run alive by themselves.
   std::size_t run();
 
   /// Runs events with time <= `deadline` and advances the clock to
@@ -74,8 +76,18 @@ class Simulator {
   /// Runs a single event if any is pending. Returns false when idle.
   bool step();
 
+  /// Marks (or unmarks) a pending event as a daemon: a housekeeping event
+  /// — e.g. a monitoring heartbeat — that run() does not wait for. Sticky
+  /// across reschedule()/re-arm. Returns false for stale handles.
+  bool set_daemon(EventHandle handle, bool on = true) noexcept {
+    return heap_.set_daemon(handle, on);
+  }
+
   /// Pending (non-cancelled) event count.
   std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Pending events currently flagged as daemons.
+  std::size_t daemon_pending() const noexcept { return heap_.daemon_count(); }
 
   /// Total events fired since construction.
   std::uint64_t events_fired() const noexcept { return fired_; }
@@ -111,6 +123,12 @@ class PeriodicTimer {
   void stop();
   bool running() const noexcept { return running_; }
 
+  /// Marks the timer's tick event as a daemon (see Simulator::set_daemon):
+  /// the timer then never keeps Simulator::run() alive. Applies to the
+  /// current pending tick and every future arm.
+  void set_daemon(bool on = true);
+  bool daemon() const noexcept { return daemon_; }
+
  private:
   void arm();
 
@@ -119,6 +137,7 @@ class PeriodicTimer {
   Callback tick_;
   EventHandle pending_;
   bool running_ = false;
+  bool daemon_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -46,7 +46,18 @@ Grid::Grid(GridConfig config)
                                        spec.site);
     sites_.push_back(std::move(site));
     if (net::Link* up_link = uplink(i)) {
-      up_link->set_metrics(metrics_.scope("grid.uplink." + spec.name));
+      if (flow_engine_) {
+        // Fluid model: payloads never cross the link as packets, so its
+        // busy-time gauge would read only control chatter. Publish the
+        // flow engine's view instead (sample_uplink_utilization).
+        const obs::MetricsScope scope =
+            metrics_.scope("grid.uplink." + spec.name);
+        fluid_uplinks_.push_back(FluidUplink{
+            up_link, scope.gauge("utilization"),
+            scope.counter("bytes_moved"), 0});
+      } else {
+        up_link->set_metrics(metrics_.scope("grid.uplink." + spec.name));
+      }
     }
 
     if (spec.cross_traffic > 0) {
@@ -84,6 +95,45 @@ Grid::Grid(GridConfig config)
       }
     }
   }
+
+  if (config_.heartbeat_period > 0) {
+    obs::HeartbeatConfig hb;
+    hb.period = config_.heartbeat_period;
+    hb.window_ticks = config_.heartbeat_window_ticks;
+    heartbeat_ = std::make_unique<obs::HeartbeatReporter>(simulator_, hb);
+    heartbeat_->add_registry(&metrics_);
+    for (auto& site : sites_) heartbeat_->add_registry(&site->metrics());
+    heartbeat_->add_sampler([this] { sample_uplink_utilization(); });
+
+    obs::WatchRule queue;
+    queue.name = "queue_depth_ceiling";
+    queue.kind = obs::WatchRule::Kind::kGaugeCeiling;
+    queue.metric = "site.*.sched.queue_depth";
+    queue.threshold = config_.watch_queue_depth;
+    heartbeat_->watchdog().add_rule(std::move(queue));
+
+    obs::WatchRule saturation;
+    saturation.name = "link_saturation";
+    saturation.kind = obs::WatchRule::Kind::kGaugeCeiling;
+    saturation.metric = "grid.uplink.*.utilization";
+    saturation.threshold = config_.watch_saturation;
+    saturation.for_ticks = config_.watch_saturation_ticks;
+    heartbeat_->watchdog().add_rule(std::move(saturation));
+
+    if (!flow_engine_) {
+      // Packet model only: the fluid engine conserves by construction
+      // (there are no per-uplink delivered counters to check against).
+      obs::WatchRule conservation;
+      conservation.name = "link_conservation";
+      conservation.kind = obs::WatchRule::Kind::kConservation;
+      conservation.metric = "grid.uplink.*.bytes_sent";
+      conservation.metric_b = "grid.uplink.*.bytes_delivered";
+      conservation.threshold =
+          static_cast<double>(config_.watch_conservation_slack);
+      heartbeat_->watchdog().add_rule(std::move(conservation));
+    }
+    heartbeat_->start();
+  }
 }
 
 Status Grid::start() {
@@ -108,6 +158,20 @@ net::Link* Grid::uplink(std::size_t index) noexcept {
 }
 
 void Grid::sample_uplink_utilization() {
+  if (flow_engine_) {
+    for (FluidUplink& up : fluid_uplinks_) {
+      up.utilization->set(flow_engine_->link_utilization(up.link));
+      // Mirror the engine's (double) byte integral into a monotone
+      // counter; the fractional remainder carries to the next sample.
+      const auto moved = static_cast<std::int64_t>(
+          flow_engine_->link_bytes_moved(up.link));
+      if (moved > up.published_bytes) {
+        up.bytes_moved->add(moved - up.published_bytes);
+        up.published_bytes = moved;
+      }
+    }
+    return;
+  }
   for (std::size_t i = 0; i < sites_.size(); ++i) {
     if (net::Link* link = uplink(i)) (void)link->sample_utilization();
   }

@@ -15,6 +15,7 @@
 #include "gdmp/catalog_service.h"
 #include "net/cross_traffic.h"
 #include "net/topology.h"
+#include "obs/heartbeat.h"
 #include "testbed/site.h"
 
 namespace gdmp::testbed {
@@ -37,6 +38,22 @@ struct GridConfig {
   /// events). Per-site overrides go through GridSiteSpec::site.
   flow::TransferModel transfer_model = flow::TransferModel::kPacket;
   flow::FluidConfig fluid{};
+
+  /// Heartbeat quantum for the grid observatory (0 = no heartbeat). When
+  /// set, the grid builds an obs::HeartbeatReporter over its own registry
+  /// plus every site's, samples uplink utilization each tick, arms the
+  /// default watchdog rules below, and appends one JSONL rollup per tick
+  /// to $GDMP_ROLLUP_FILE (see DESIGN.md §5g).
+  SimDuration heartbeat_period = 0;
+  int heartbeat_window_ticks = 10;
+  /// Default watchdog thresholds (only used when the heartbeat is on).
+  double watch_queue_depth = 1000.0;   ///< scheduler queue-depth ceiling
+  double watch_saturation = 0.95;      ///< uplink utilization ceiling
+  int watch_saturation_ticks = 3;      ///< sustained ticks before firing
+  /// Conservation slack per uplink: bytes legitimately in flight (queue
+  /// backlog + bandwidth-delay product) before sent-vs-delivered drift is
+  /// alert-worthy. Packet model only.
+  Bytes watch_conservation_slack = 4 * kMiB;
 };
 
 class Grid {
@@ -77,7 +94,13 @@ class Grid {
 
   /// Publishes the busy-time fraction of every site uplink since the last
   /// call (satellite gauges are caller-sampled; nothing self-schedules).
+  /// Under the fluid model the gauges read the flow engine's link
+  /// utilization instead, and a "bytes_moved" counter per uplink mirrors
+  /// FlowEngine::link_bytes_moved.
   void sample_uplink_utilization();
+
+  /// Null unless GridConfig::heartbeat_period > 0.
+  obs::HeartbeatReporter* heartbeat() noexcept { return heartbeat_.get(); }
 
  private:
   GridConfig config_;
@@ -95,6 +118,20 @@ class Grid {
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<std::unique_ptr<net::CbrSource>> cross_sources_;
   std::vector<std::unique_ptr<net::DatagramSink>> cross_sinks_;
+
+  /// Fluid-model uplink instruments (the packet model publishes through
+  /// net::Link::sample_utilization instead).
+  struct FluidUplink {
+    net::Link* link = nullptr;
+    obs::Gauge* utilization = nullptr;
+    obs::Counter* bytes_moved = nullptr;
+    std::int64_t published_bytes = 0;  // already mirrored into the counter
+  };
+  std::vector<FluidUplink> fluid_uplinks_;
+
+  // Declared after the sites (its store caches pointers into their
+  // registries) and destroyed before them.
+  std::unique_ptr<obs::HeartbeatReporter> heartbeat_;
 };
 
 /// The classic two-site CERN↔ANL path used throughout §6, as a grid.

@@ -90,7 +90,8 @@ Site::Site(sim::Simulator& simulator, net::Network& network, net::Node& host,
   obs::TransferChannel::Observer to_registry;
   to_registry.on_complete = [completed = transfer.counter("completed"),
                              failed = transfer.counter("failed"),
-                             mbps = transfer.histogram("mbps")](
+                             mbps = transfer.histogram("mbps"),
+                             seconds = transfer.histogram("seconds")](
                                 const obs::TransferSummary& summary) {
     if (!summary.ok) {
       failed->add();
@@ -98,6 +99,9 @@ Site::Site(sim::Simulator& simulator, net::Network& network, net::Node& host,
     }
     completed->add();
     mbps->observe(summary.mbps);
+    // Wall-of-the-grid transfer time: the campaign report's percentile
+    // source ("transfer economics").
+    seconds->observe(to_seconds(summary.elapsed));
   };
   to_registry.on_restart = [restarts = transfer.counter("restarts")](
                                const obs::RestartMarker&) {

@@ -12,3 +12,13 @@ long long bad_system() {
 }
 
 long long bad_ctime() { return static_cast<long long>(std::time(nullptr)); }
+
+// Deterministic log prefixes come from the sim clock ("[t=12.500s]", see
+// common/logging.cpp) — wall-time formatting/arithmetic is banned too.
+int bad_strftime(char* buf, std::tm* tm) {
+  return static_cast<int>(std::strftime(buf, 32, "%H:%M:%S", tm));
+}
+
+double bad_difftime(std::time_t a, std::time_t b) {
+  return std::difftime(a, b);
+}

@@ -334,5 +334,39 @@ TEST(DetHash, DifferentSeedsPerturbIterationOrder) {
   EXPECT_NE(first, second);                // ...visited in different order
 }
 
+// ------------------------------------------------------------------ logging
+
+TEST(Logger, SimTimePrefixAndComponentOverride) {
+  Logger& logger = Logger::global();
+  std::vector<std::string> lines;
+  logger.set_sink(
+      [&](LogLevel, std::string_view line) { lines.emplace_back(line); });
+  logger.set_clock([] { return SimTime{12 * kSecond + 500 * kMillisecond}; });
+  logger.set_level(LogLevel::kWarn);
+  // Per-component override covers dotted children without opening the
+  // global floodgates.
+  logger.set_component_level("gridftp", LogLevel::kDebug);
+
+  GDMP_DEBUG("gridftp.client", "window update");
+  GDMP_DEBUG("sched", "suppressed by the global level");
+  GDMP_WARN("sched", "queue deep");
+
+  ASSERT_EQ(lines.size(), 2u);
+  // The prefix is simulated time in the fixed "[t=12.500s]" form — never
+  // wallclock (gdmp_lint's wallclock rule bans the strftime family).
+  EXPECT_EQ(lines[0], "[t=12.500s] gridftp.client: window update");
+  EXPECT_EQ(lines[1], "[t=12.500s] sched: queue deep");
+
+  // Without a clock there is no time prefix.
+  logger.set_clock({});
+  GDMP_WARN("sched", "bare");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "sched: bare");
+
+  logger.clear_component_levels();
+  logger.set_level(LogLevel::kOff);
+  logger.set_sink(nullptr);
+}
+
 }  // namespace
 }  // namespace gdmp

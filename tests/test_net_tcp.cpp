@@ -53,6 +53,43 @@ TEST(Link, SerializationPlusPropagationDelay) {
   EXPECT_EQ(arrival, 11 * kMillisecond);
 }
 
+TEST(Link, UtilizationSampleOnEmptyWindowRepeatsLastValue) {
+  sim::Simulator simulator;
+  LinkConfig config;
+  config.bandwidth = 8 * kMbps;  // 1 byte per microsecond
+  Link link(simulator, config, [](const Packet&) {});
+  Packet packet;
+  packet.payload_len = 960;  // wire = 1000 B -> 1 ms busy
+  link.enqueue(packet);
+  simulator.run_until(2 * kMillisecond);
+  const double utilization = link.sample_utilization();
+  EXPECT_NEAR(utilization, 0.5, 0.01);  // 1 ms busy of a 2 ms window
+  // Regression: sampling again with no sim time elapsed used to divide by
+  // a zero-length window. It must repeat the last sample and leave the
+  // window anchors alone.
+  EXPECT_EQ(link.sample_utilization(), utilization);
+  // The anchors did not move: the next real window still measures cleanly.
+  link.enqueue(packet);
+  simulator.run_until(4 * kMillisecond);
+  EXPECT_NEAR(link.sample_utilization(), 0.5, 0.01);
+}
+
+TEST(Link, DeliveryCountersTrackArrivals) {
+  sim::Simulator simulator;
+  LinkConfig config;
+  config.bandwidth = 8 * kMbps;
+  config.queue_capacity = 3000;
+  Link link(simulator, config, [](const Packet&) {});
+  Packet packet;
+  packet.payload_len = 1000;  // wire = 1040 B
+  for (int i = 0; i < 5; ++i) link.enqueue(packet);  // 2 fit, 3 drop
+  simulator.run();
+  EXPECT_EQ(link.stats().packets_delivered, 2);
+  EXPECT_EQ(link.stats().bytes_delivered, 2 * 1040);
+  EXPECT_EQ(link.stats().bytes_sent, link.stats().bytes_delivered);
+  EXPECT_EQ(link.stats().packets_dropped, 3);
+}
+
 TEST(Network, RoutesAcrossMultipleHops) {
   sim::Simulator simulator;
   Network network(simulator);

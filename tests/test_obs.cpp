@@ -11,9 +11,12 @@
 
 #include "common/logging.h"
 #include "obs/channel.h"
+#include "obs/heartbeat.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "sched/cost_selector.h"
 #include "testbed/grid.h"
 
@@ -407,6 +410,264 @@ TEST(ObservabilityIntegration, ReplicationSpanChainAndSiteMetrics) {
             std::string::npos);
 
   tracer.clear();
+}
+
+// ---------------------------------------------------------- time series
+
+TEST(TimeSeries, RateWindowEvictsOldestDelta) {
+  RateWindow window(3);
+  window.push(10);
+  window.push(20);
+  window.push(30);
+  EXPECT_EQ(window.window_sum(), 60);
+  EXPECT_EQ(window.filled(), 3);
+  window.push(40);  // evicts the 10
+  EXPECT_EQ(window.window_sum(), 90);
+  EXPECT_EQ(window.filled(), 3);
+  EXPECT_EQ(window.capacity(), 3);
+}
+
+TEST(TimeSeries, HistogramPercentileNearestRank) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  const std::vector<std::int64_t> counts{2, 1, 0, 1};  // overflow holds max
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, counts, 0.50, 9.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, counts, 0.75, 9.0), 2.0);
+  // Rank lands in the overflow bucket: the observed max caps it.
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, counts, 0.99, 9.0), 9.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, {0, 0, 0, 0}, 0.5, 9.0), 0.0);
+}
+
+TEST(TimeSeries, WindowedHistogramRingMergesTickDeltas) {
+  WindowedHistogram window(2);
+  window.push({1, 0, 0}, 1, 0.5);  // tick 1
+  window.push({0, 2, 0}, 2, 6.0);  // tick 2
+  EXPECT_EQ(window.count(), 3);
+  window.push({0, 0, 1}, 1, 9.0);  // tick 3 evicts tick 1
+  EXPECT_EQ(window.count(), 3);
+  EXPECT_EQ(window.merged_buckets(), (std::vector<std::int64_t>{0, 2, 1}));
+  EXPECT_DOUBLE_EQ(window.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(window.percentile({1.0, 4.0}, 0.50, 9.0), 4.0);
+  EXPECT_DOUBLE_EQ(window.percentile({1.0, 4.0}, 0.99, 9.0), 9.0);
+}
+
+TEST(TimeSeries, SnapshotMetricRegisteredBetweenTicks) {
+  MetricsRegistry registry;
+  TimeSeriesStore store(4);
+  registry.counter("a.events").add(5);
+  store.update(registry.snapshot());
+  EXPECT_EQ(store.counters().at("a.events").delta, 5);
+
+  // A metric that appears between snapshots starts its series with the
+  // full total as its first delta — nothing is silently dropped.
+  registry.counter("b.late").add(7);
+  registry.counter("a.events").add(1);
+  store.update(registry.snapshot());
+  EXPECT_EQ(store.ticks(), 2u);
+  EXPECT_EQ(store.counters().at("a.events").total, 6);
+  EXPECT_EQ(store.counters().at("a.events").delta, 1);
+  EXPECT_EQ(store.counters().at("b.late").total, 7);
+  EXPECT_EQ(store.counters().at("b.late").delta, 7);
+}
+
+TEST(TimeSeries, CounterResetReanchorsWithoutNegativeDelta) {
+  MetricsRegistry registry;
+  TimeSeriesStore store;
+  registry.counter("a.events").add(10);
+  store.update(registry.snapshot());
+
+  registry.clear();  // registry reuse: totals go backwards
+  registry.counter("a.events").add(3);
+  store.update(registry.snapshot());
+  EXPECT_EQ(store.counters().at("a.events").delta, 0);  // clamped, not -7
+  EXPECT_EQ(store.counters().at("a.events").total, 3);  // re-anchored
+
+  registry.counter("a.events").add(4);
+  store.update(registry.snapshot());
+  EXPECT_EQ(store.counters().at("a.events").delta, 4);
+  EXPECT_EQ(store.counters().at("a.events").total, 7);
+}
+
+TEST(TimeSeries, HistogramWindowSlidesAcrossTicks) {
+  MetricsRegistry registry;
+  TimeSeriesStore store(2);
+  store.add_registry(&registry);
+  // Registered after add_registry: generation() moves, so the first tick
+  // rebuilds the pointer plan and picks the histogram up.
+  Histogram& histogram = registry.histogram("a.secs", {1.0, 10.0});
+  histogram.observe(0.5);
+  store.tick();
+  EXPECT_EQ(store.hists().at("a.secs").window.count(), 1);
+
+  histogram.observe(5.0);
+  histogram.observe(5.0);
+  store.tick();
+  EXPECT_EQ(store.hists().at("a.secs").window.count(), 3);
+
+  store.tick();  // quiet tick: the first tick's sample leaves the window
+  const auto& series = store.hists().at("a.secs");
+  EXPECT_EQ(series.window.count(), 2);
+  EXPECT_EQ(series.total_count, 3);  // cumulative state keeps everything
+  EXPECT_EQ(series.delta_count, 0);
+  // The windowed p50 no longer sees the evicted 0.5 s sample.
+  EXPECT_DOUBLE_EQ(series.window.percentile(series.bounds, 0.50, series.max),
+                   10.0);
+}
+
+// ------------------------------------------------------------- heartbeat
+
+TEST(Heartbeat, ManualTicksRollupsAndCampaign) {
+  sim::Simulator simulator;
+  MetricsRegistry registry;
+  HeartbeatConfig config;
+  config.period = kSecond;
+  config.window_ticks = 4;
+  HeartbeatReporter reporter(simulator, config);
+  reporter.add_registry(&registry);
+  std::vector<std::string> lines;
+  reporter.set_sink([&](const std::string& line) { lines.push_back(line); });
+
+  registry.counter("site.anl.sched.bytes_moved").add(1000);
+  registry.gauge("site.anl.sched.queue_depth").set(2.0);
+  reporter.tick();
+  registry.counter("site.anl.sched.bytes_moved").add(500);
+  reporter.tick();
+  reporter.finish();
+
+  ASSERT_EQ(lines.size(), 3u);
+  std::string error;
+  const auto first = json_parse(lines[0], &error);
+  ASSERT_NE(first, nullptr) << error;
+  EXPECT_EQ(first->get("type")->string, "rollup");
+  EXPECT_DOUBLE_EQ(first->get("seq")->number, 1.0);
+  const JsonValue* moved =
+      first->get("counters")->get("site.anl.sched.bytes_moved");
+  ASSERT_NE(moved, nullptr);
+  EXPECT_DOUBLE_EQ(moved->get("delta")->number, 1000.0);
+  EXPECT_DOUBLE_EQ(
+      first->get("gauges")->get("site.anl.sched.queue_depth")->number, 2.0);
+  // The reporter's own registry rides the stream like any source.
+  ASSERT_NE(first->get("counters")->get("obs.heartbeat.ticks"), nullptr);
+
+  const auto second = json_parse(lines[1], &error);
+  ASSERT_NE(second, nullptr) << error;
+  EXPECT_DOUBLE_EQ(second->get("seq")->number, 2.0);
+  EXPECT_DOUBLE_EQ(second->get("counters")
+                       ->get("site.anl.sched.bytes_moved")
+                       ->get("delta")
+                       ->number,
+                   500.0);
+
+  const auto campaign = json_parse(lines[2], &error);
+  ASSERT_NE(campaign, nullptr) << error;
+  EXPECT_EQ(campaign->get("type")->string, "campaign");
+  EXPECT_DOUBLE_EQ(
+      campaign->get("sites")->get("anl")->get("sched.bytes_moved")->number,
+      1500.0);
+  EXPECT_DOUBLE_EQ(campaign->get("economics")->get("bytes_moved")->number,
+                   1500.0);
+  EXPECT_EQ(reporter.ticks(), 2u);
+}
+
+TEST(Heartbeat, SparseStreamSkipsIdleCounters) {
+  sim::Simulator simulator;
+  MetricsRegistry registry;
+  HeartbeatReporter reporter(simulator, {});
+  reporter.add_registry(&registry);
+  std::vector<std::string> lines;
+  reporter.set_sink([&](const std::string& line) { lines.push_back(line); });
+
+  registry.counter("a.busy").add(10);
+  registry.counter("a.idle");  // never moves
+  reporter.tick();
+  reporter.tick();  // a.busy is idle this tick too
+  reporter.finish();  // before `lines` goes out of scope under the sink
+
+  ASSERT_EQ(lines.size(), 3u);  // two rollups + the campaign record
+  EXPECT_NE(lines[0].find("\"a.busy\""), std::string::npos);
+  EXPECT_EQ(lines[0].find("\"a.idle\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"a.busy\""), std::string::npos);
+}
+
+// -------------------------------------------------------------- watchdog
+
+TEST(Watchdog, GlobMatchCapturesStar) {
+  std::string capture;
+  EXPECT_TRUE(watch_glob_match("site.*.queue", "site.anl.queue", &capture));
+  EXPECT_EQ(capture, "anl");
+  EXPECT_FALSE(watch_glob_match("site.*.queue", "site.anl.depth", &capture));
+  EXPECT_TRUE(watch_glob_match("exact", "exact", &capture));
+  EXPECT_EQ(capture, "");
+  EXPECT_FALSE(watch_glob_match("exact", "exactly", &capture));
+}
+
+TEST(Watchdog, GaugeCeilingStreakFiresOnceThenRearms) {
+  MetricsRegistry registry;
+  TimeSeriesStore store;
+  store.add_registry(&registry);
+  Gauge& utilization = registry.gauge("grid.uplink.anl.utilization");
+  Watchdog watchdog;
+  WatchRule rule;
+  rule.name = "link_saturation";
+  rule.metric = "grid.uplink.*.utilization";
+  rule.threshold = 0.95;
+  rule.for_ticks = 3;
+  watchdog.add_rule(std::move(rule));
+
+  auto tick = [&](double value) {
+    utilization.set(value);
+    store.tick();
+    return watchdog.evaluate(store);
+  };
+  EXPECT_TRUE(tick(0.99).empty());  // streak 1
+  EXPECT_TRUE(tick(0.99).empty());  // streak 2
+  const auto alerts = tick(0.99);   // streak 3: fires
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "link_saturation");
+  EXPECT_EQ(alerts[0].metric, "grid.uplink.anl.utilization");
+  EXPECT_DOUBLE_EQ(alerts[0].value, 0.99);
+  EXPECT_TRUE(tick(0.99).empty());  // sustained: pages once per episode
+  EXPECT_TRUE(tick(0.50).empty());  // clears: re-arms
+  EXPECT_TRUE(tick(0.99).empty());
+  EXPECT_TRUE(tick(0.99).empty());
+  EXPECT_EQ(tick(0.99).size(), 1u);  // second episode fires again
+}
+
+TEST(Watchdog, ConservationPairsCountersByCapture) {
+  MetricsRegistry registry;
+  TimeSeriesStore store;
+  store.add_registry(&registry);
+  Counter& sent = registry.counter("grid.uplink.anl.bytes_sent");
+  Counter& delivered = registry.counter("grid.uplink.anl.bytes_delivered");
+  // A link with no delivered partner is skipped, never alerted on.
+  registry.counter("grid.uplink.cern.bytes_sent").add(100'000);
+
+  Watchdog watchdog;
+  WatchRule rule;
+  rule.name = "link_conservation";
+  rule.kind = WatchRule::Kind::kConservation;
+  rule.metric = "grid.uplink.*.bytes_sent";
+  rule.metric_b = "grid.uplink.*.bytes_delivered";
+  rule.threshold = 100.0;
+  watchdog.add_rule(std::move(rule));
+
+  sent.add(150);
+  delivered.add(100);  // drift 50: within the in-flight tolerance
+  store.tick();
+  EXPECT_TRUE(watchdog.evaluate(store).empty());
+
+  sent.add(200);  // drift 250: bytes are leaking
+  store.tick();
+  const auto alerts = watchdog.evaluate(store);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].rule, "link_conservation");
+  EXPECT_EQ(alerts[0].metric, "grid.uplink.anl.bytes_sent");
+  EXPECT_DOUBLE_EQ(alerts[0].value, 250.0);
+
+  store.tick();  // drift persists: still one page per episode
+  EXPECT_TRUE(watchdog.evaluate(store).empty());
+  delivered.add(250);  // catches up: re-arms
+  store.tick();
+  EXPECT_TRUE(watchdog.evaluate(store).empty());
 }
 
 }  // namespace

@@ -288,5 +288,81 @@ TEST(PeriodicTimer, RestartAfterStop) {
   EXPECT_EQ(ticks, 4);
 }
 
+// ------------------------------------------------------------ daemon events
+
+TEST(Daemon, RunStopsWhenOnlyDaemonsRemain) {
+  Simulator simulator;
+  int work = 0, daemon_fires = 0;
+  PeriodicTimer timer(simulator, 10, [&] { ++daemon_fires; });
+  timer.set_daemon(true);
+  timer.start();
+  simulator.schedule(35, [&] { ++work; });
+  // The periodic daemon alone must not keep run() alive: it fires while
+  // real work is pending (t=10,20,30) and the run ends at the last
+  // non-daemon event.
+  simulator.run();
+  EXPECT_EQ(work, 1);
+  EXPECT_EQ(daemon_fires, 3);
+  EXPECT_EQ(simulator.now(), 35);
+  EXPECT_EQ(simulator.pending(), 1u);  // the rearmed daemon tick
+  EXPECT_EQ(simulator.daemon_pending(), 1u);
+}
+
+TEST(Daemon, RunWithDaemonOnlyQueueIsANoOp) {
+  Simulator simulator;
+  bool fired = false;
+  const EventHandle handle = simulator.schedule(20, [&] { fired = true; });
+  ASSERT_TRUE(simulator.set_daemon(handle));
+  EXPECT_EQ(simulator.run(), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(simulator.now(), 0);
+}
+
+TEST(Daemon, RunUntilStillFiresDaemons) {
+  Simulator simulator;
+  int ticks = 0;
+  PeriodicTimer timer(simulator, 10, [&] { ++ticks; });
+  timer.set_daemon(true);
+  timer.start();
+  // Bounded runs drive daemons to the deadline — only open-ended run()
+  // refuses to chase them.
+  simulator.run_until(55);
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(simulator.now(), 55);
+}
+
+TEST(Daemon, SetDaemonCancelAndStaleHandleBookkeeping) {
+  Simulator simulator;
+  const EventHandle handle = simulator.schedule(10, [] {});
+  EXPECT_EQ(simulator.daemon_pending(), 0u);
+  EXPECT_TRUE(simulator.set_daemon(handle));
+  EXPECT_EQ(simulator.daemon_pending(), 1u);
+  EXPECT_TRUE(simulator.set_daemon(handle, false));
+  EXPECT_EQ(simulator.daemon_pending(), 0u);
+  EXPECT_TRUE(simulator.set_daemon(handle));
+  simulator.cancel(handle);
+  EXPECT_EQ(simulator.daemon_pending(), 0u);
+  EXPECT_FALSE(simulator.set_daemon(handle));  // stale handle
+}
+
+TEST(Daemon, FlagSurvivesPeriodicRearm) {
+  Simulator simulator;
+  int ticks = 0;
+  PeriodicTimer timer(simulator, 10, [&] { ++ticks; });
+  timer.set_daemon(true);
+  timer.start();
+  EXPECT_TRUE(timer.daemon());
+  simulator.schedule(25, [] {});
+  simulator.run();  // daemon ticks at 10, 20; work at 25
+  EXPECT_EQ(ticks, 2);
+  // The rearmed tick is still a daemon: a second run() with fresh work
+  // stops at that work again instead of chasing the timer.
+  EXPECT_EQ(simulator.daemon_pending(), 1u);
+  simulator.schedule(20, [] {});  // 20 past now=25 -> fires at t=45
+  simulator.run();
+  EXPECT_EQ(ticks, 4);  // t=30, 40
+  EXPECT_EQ(simulator.now(), 45);
+}
+
 }  // namespace
 }  // namespace gdmp::sim

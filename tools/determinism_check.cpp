@@ -42,10 +42,11 @@ using gdmp::obs::JsonValue;
 /// GDMP_SEED/GDMP_HASH_SEED/GDMP_TRACE_FILE set, capturing stdout.
 bool run_workload(const std::string& command_tail, const std::string& seed,
                   const std::string& hash_seed, const std::string& trace_file,
-                  std::string& stdout_text) {
+                  const std::string& rollup_file, std::string& stdout_text) {
   const std::string command = "GDMP_SEED='" + seed + "' GDMP_HASH_SEED='" +
                               hash_seed + "' GDMP_TRACE_FILE='" + trace_file +
-                              "' " + command_tail + " 2>/dev/null";
+                              "' GDMP_ROLLUP_FILE='" + rollup_file + "' " +
+                              command_tail + " 2>/dev/null";
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return false;
   char buffer[4096];
@@ -170,6 +171,15 @@ bool file_exists(const std::string& path) {
   return static_cast<bool>(std::ifstream(path));
 }
 
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,13 +218,15 @@ int main(int argc, char** argv) {
   const std::string tag = std::to_string(static_cast<long>(getpid()));
   const std::string trace1 = "/tmp/gdmp-det-" + tag + "-1.json";
   const std::string trace2 = "/tmp/gdmp-det-" + tag + "-2.json";
+  const std::string rollup1 = "/tmp/gdmp-det-" + tag + "-1.jsonl";
+  const std::string rollup2 = "/tmp/gdmp-det-" + tag + "-2.jsonl";
 
   std::string out1, out2;
-  if (!run_workload(command_tail, seed, hash1, trace1, out1)) {
+  if (!run_workload(command_tail, seed, hash1, trace1, rollup1, out1)) {
     std::fprintf(stderr, "determinism_check: run 1 failed\n");
     return 1;
   }
-  if (!run_workload(command_tail, seed, hash2, trace2, out2)) {
+  if (!run_workload(command_tail, seed, hash2, trace2, rollup2, out2)) {
     std::fprintf(stderr, "determinism_check: run 2 failed\n");
     return 1;
   }
@@ -243,21 +255,45 @@ int main(int argc, char** argv) {
     std::remove(trace1.c_str());
     std::remove(trace2.c_str());
   }
+  // 3. Heartbeat rollup stream (workloads that honour GDMP_ROLLUP_FILE):
+  //    one JSONL record per sim-time tick, byte-compared — the windowed
+  //    aggregates, watchdog alerts and campaign record must all replay.
+  std::size_t rollup_bytes = 0;
+  const bool rolled = file_exists(rollup1) || file_exists(rollup2);
+  if (rolled) {
+    std::string stream1, stream2;
+    if (!slurp(rollup1, stream1) || !slurp(rollup2, stream2)) {
+      std::fprintf(stderr,
+                   "determinism_check: only one run wrote a rollup stream\n");
+      ++failures;
+    } else if (stream1 != stream2) {
+      print_first_diff(stream1, stream2, "rollup stream");
+      ++failures;
+    } else if (stream1.empty()) {
+      std::fprintf(stderr, "determinism_check: rollup stream is empty\n");
+      ++failures;
+    }
+    rollup_bytes = stream1.size();
+    std::remove(rollup1.c_str());
+    std::remove(rollup2.c_str());
+  }
 
   if (failures != 0) return 1;
   const char* mode = hash_perturb ? " with perturbed hash order" : "";
+  std::string extras;
   if (traced) {
-    std::size_t spans = static_cast<std::size_t>(
+    const std::size_t spans = static_cast<std::size_t>(
         std::count(tree1.begin(), tree1.end(), '\n'));
-    std::printf(
-        "determinism_check: ok — identical stdout (%zu bytes) and span tree "
-        "(%zu spans) across two seed=%s runs%s\n",
-        out1.size(), spans, seed.c_str(), mode);
-  } else {
-    std::printf(
-        "determinism_check: ok — identical stdout (%zu bytes) across two "
-        "seed=%s runs%s (workload exports no trace)\n",
-        out1.size(), seed.c_str(), mode);
+    extras += " and span tree (" + std::to_string(spans) + " spans)";
   }
+  if (rolled) {
+    extras += " and rollup stream (" + std::to_string(rollup_bytes) +
+              " bytes)";
+  }
+  if (!traced) extras += " (workload exports no trace)";
+  std::printf(
+      "determinism_check: ok — identical stdout (%zu bytes)%s across two "
+      "seed=%s runs%s\n",
+      out1.size(), extras.c_str(), seed.c_str(), mode);
   return 0;
 }

@@ -119,6 +119,10 @@ const std::set<std::string>& wallclock_idents() {
       "gettimeofday",  "clock_gettime", "timespec_get",
       "localtime",     "gmtime",        "mktime",
       "ftime",         "utc_clock",     "file_clock",
+      // Formatting/arithmetic over wall-clock values: a Logger timestamp
+      // prefix built from any of these would differ across replays.
+      "strftime",      "asctime",       "difftime",
+      "timegm",
   };
   return banned;
 }

@@ -1,0 +1,412 @@
+// obs_report: reader for the grid observatory's JSONL rollup stream
+// (DESIGN.md §5g — what HeartbeatReporter writes to GDMP_ROLLUP_FILE).
+//
+//   obs_report rollups.jsonl             summary: per-series stats, top-N
+//                                        hot links/sites, alert totals
+//   obs_report --series NAME file        ASCII sparkline timeline of one
+//                                        series (counter delta or gauge)
+//   obs_report --validate file           structural validation only
+//   ... | obs_report -                   read the stream from stdin
+//
+// Exit codes follow gdmp_lint: 0 = clean, 1 = findings (validation
+// failures), 2 = I/O or usage error.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using gdmp::obs::JsonValue;
+
+struct Options {
+  std::string path;
+  bool validate = false;
+  int top = 5;
+  std::string series;
+};
+
+struct Stream {
+  // One parsed record per line, in file order.
+  std::vector<std::unique_ptr<JsonValue>> records;
+  std::vector<int> lines;  // 1-based line number per record
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: obs_report [--validate] [--top N] [--series NAME] "
+               "<file|->\n");
+  return 2;
+}
+
+bool read_all(const std::string& path, std::string& out) {
+  std::FILE* f = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  if (f != stdin) std::fclose(f);
+  return true;
+}
+
+double num(const JsonValue* v, double fallback = 0.0) {
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+const char* type_of(const JsonValue& record) {
+  const JsonValue* t = record.get("type");
+  return t != nullptr && t->is_string() ? t->string.c_str() : "";
+}
+
+// ---------------------------------------------------------------- validate
+
+int validate(const Stream& stream, const std::string& label) {
+  int findings = 0;
+  auto report = [&](int line, const std::string& msg) {
+    std::printf("%s:%d: [rollup] %s\n", label.c_str(), line, msg.c_str());
+    ++findings;
+  };
+
+  double last_seq = 0;
+  double last_t = -1;
+  int campaigns = 0;
+  int rollups = 0;
+  std::map<std::string, double> totals;  // per-counter monotonicity
+
+  for (std::size_t i = 0; i < stream.records.size(); ++i) {
+    const JsonValue& record = *stream.records[i];
+    const int line = stream.lines[i];
+    if (!record.is_object()) {
+      report(line, "record is not a JSON object");
+      continue;
+    }
+    const std::string type = type_of(record);
+    if (type != "rollup" && type != "campaign") {
+      report(line, "unknown record type '" + type + "'");
+      continue;
+    }
+    if (num(record.get("v")) != 1) {
+      report(line, "unsupported schema version (want v=1)");
+    }
+    if (type == "campaign") {
+      ++campaigns;
+      if (i + 1 != stream.records.size()) {
+        report(line, "campaign record is not the last record");
+      }
+      continue;
+    }
+    ++rollups;
+    const double seq = num(record.get("seq"), -1);
+    if (seq != last_seq + 1) {
+      report(line, "seq " + std::to_string(static_cast<long long>(seq)) +
+                       " breaks the contiguous sequence (expected " +
+                       std::to_string(static_cast<long long>(last_seq + 1)) +
+                       ")");
+    }
+    last_seq = seq;
+    const double t = num(record.get("t"), -1);
+    if (t <= last_t) {
+      report(line, "t is not strictly increasing");
+    }
+    last_t = t;
+    for (const char* section : {"counters", "gauges", "hists"}) {
+      const JsonValue* obj = record.get(section);
+      if (obj != nullptr && !obj->is_object()) {
+        report(line, std::string(section) + " is not an object");
+      }
+    }
+    const JsonValue* alerts = record.get("alerts");
+    if (alerts != nullptr && !alerts->is_array()) {
+      report(line, "alerts is not an array");
+    }
+    if (const JsonValue* counters = record.get("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [name, entry] : counters->object) {
+        const double total = num(entry.get("total"), -1);
+        const auto it = totals.find(name);
+        if (it != totals.end() && total < it->second) {
+          report(line, "counter '" + name + "' total went backwards");
+        }
+        totals[name] = total;
+      }
+    }
+  }
+  if (stream.records.empty()) {
+    report(0, "empty stream");
+  } else if (campaigns == 0) {
+    report(stream.lines.back(), "missing trailing campaign record");
+  } else if (campaigns > 1) {
+    report(stream.lines.back(), "more than one campaign record");
+  }
+  if (findings == 0) {
+    std::printf("OK: %d rollups + %d campaign record, %s ticks validated\n",
+                rollups, campaigns,
+                std::to_string(static_cast<long long>(last_seq)).c_str());
+  }
+  return findings == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------- summary
+
+std::string format_count(double v) {
+  char buf[64];
+  if (v == static_cast<long long>(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+/// Downsamples `values` to at most `width` columns (bucket mean) and
+/// renders them against the series max with a 10-level ramp.
+std::string sparkline(const std::vector<double>& values, int width) {
+  static const char kRamp[] = " .:-=+*#%@";
+  if (values.empty()) return "";
+  std::vector<double> cols;
+  const std::size_t n = values.size();
+  const std::size_t w = std::min<std::size_t>(n, static_cast<std::size_t>(width));
+  for (std::size_t c = 0; c < w; ++c) {
+    const std::size_t begin = c * n / w;
+    const std::size_t end = std::max(begin + 1, (c + 1) * n / w);
+    double sum = 0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    cols.push_back(sum / static_cast<double>(end - begin));
+  }
+  const double peak = *std::max_element(cols.begin(), cols.end());
+  std::string out;
+  for (const double v : cols) {
+    const int level =
+        peak > 0 ? static_cast<int>(v / peak * 9.0 + 0.5) : 0;
+    out += kRamp[std::clamp(level, 0, 9)];
+  }
+  return out;
+}
+
+/// Per-tick values of one series across the rollups: counter/hist deltas
+/// (0 on quiet ticks — the stream is sparse) or gauge levels (carried
+/// forward when absent).
+std::vector<double> series_timeline(const Stream& stream,
+                                    const std::string& name, bool& found) {
+  std::vector<double> values;
+  double carry = 0;
+  found = false;
+  for (const auto& record : stream.records) {
+    if (std::strcmp(type_of(*record), "rollup") != 0) continue;
+    double v = 0;
+    if (const JsonValue* gauges = record->get("gauges")) {
+      if (const JsonValue* g = gauges->get(name)) {
+        carry = num(g);
+        found = true;
+        values.push_back(carry);
+        continue;
+      }
+    }
+    bool sampled = false;
+    if (const JsonValue* counters = record->get("counters")) {
+      if (const JsonValue* c = counters->get(name)) {
+        v = num(c->get("delta"));
+        found = sampled = true;
+      }
+    }
+    if (!sampled) {
+      if (const JsonValue* hists = record->get("hists")) {
+        if (const JsonValue* h = hists->get(name)) {
+          v = num(h->get("delta"));
+          found = sampled = true;
+        }
+      }
+    }
+    values.push_back(sampled ? v : (found ? 0 : carry));
+  }
+  return values;
+}
+
+int summarize(const Stream& stream, const Options& options) {
+  const JsonValue* campaign = nullptr;
+  int rollups = 0;
+  double duration = 0;
+  // Last-known cumulative state per series (the stream is sparse).
+  std::map<std::string, const JsonValue*> counters, hists;
+  std::map<std::string, double> gauge_last, gauge_max;
+
+  for (const auto& record : stream.records) {
+    const std::string type = type_of(*record);
+    if (type == "campaign") {
+      campaign = record.get();
+      continue;
+    }
+    if (type != "rollup") continue;
+    ++rollups;
+    duration = num(record->get("t"), duration);
+    if (const JsonValue* obj = record->get("counters")) {
+      for (const auto& [name, entry] : obj->object) counters[name] = &entry;
+    }
+    if (const JsonValue* obj = record->get("hists")) {
+      for (const auto& [name, entry] : obj->object) hists[name] = &entry;
+    }
+    if (const JsonValue* obj = record->get("gauges")) {
+      for (const auto& [name, entry] : obj->object) {
+        const double v = num(&entry);
+        gauge_last[name] = v;
+        auto [it, fresh] = gauge_max.try_emplace(name, v);
+        if (!fresh && v > it->second) it->second = v;
+      }
+    }
+  }
+
+  if (!options.series.empty()) {
+    bool found = false;
+    const std::vector<double> values =
+        series_timeline(stream, options.series, found);
+    if (!found) {
+      std::fprintf(stderr, "obs_report: no series named '%s'\n",
+                   options.series.c_str());
+      return 2;
+    }
+    std::printf("%s over %d ticks (peak-scaled)\n", options.series.c_str(),
+                rollups);
+    std::printf("  [%s]\n", sparkline(values, 60).c_str());
+    return 0;
+  }
+
+  std::printf("rollups: %d ticks over %.6gs sim time\n", rollups, duration);
+
+  std::printf("\ncounters (total / mean rate):\n");
+  for (const auto& [name, entry] : counters) {
+    const double total = num(entry->get("total"));
+    std::printf("  %-52s %14s  %10.6g/s\n", name.c_str(),
+                format_count(total).c_str(),
+                duration > 0 ? total / duration : 0.0);
+  }
+  std::printf("\ngauges (last / max):\n");
+  for (const auto& [name, last] : gauge_last) {
+    std::printf("  %-52s %14.6g  %10.6g\n", name.c_str(), last,
+                gauge_max[name]);
+  }
+  if (!hists.empty()) {
+    std::printf("\nhistograms (count / mean / p50 / p95 / p99):\n");
+    for (const auto& [name, entry] : hists) {
+      std::printf("  %-44s %10s  %10.6g %10.6g %10.6g %10.6g\n", name.c_str(),
+                  format_count(num(entry->get("count"))).c_str(),
+                  num(entry->get("mean")), num(entry->get("p50")),
+                  num(entry->get("p95")), num(entry->get("p99")));
+    }
+  }
+
+  if (campaign != nullptr) {
+    // Hot links/sites, ranked by bytes moved across the campaign.
+    auto rank = [&](const char* section, const char* title,
+                    const std::vector<const char*>& keys) {
+      const JsonValue* obj = campaign->get(section);
+      if (obj == nullptr || !obj->is_object() || obj->object.empty()) return;
+      std::vector<std::pair<double, const std::string*>> ranked;
+      for (const auto& [name, entry] : obj->object) {
+        double bytes = 0;
+        for (const char* key : keys) bytes = std::max(bytes, num(entry.get(key)));
+        ranked.emplace_back(bytes, &name);
+      }
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      std::printf("\ntop %s (bytes):\n", title);
+      const std::size_t n =
+          std::min<std::size_t>(ranked.size(),
+                                static_cast<std::size_t>(options.top));
+      for (std::size_t i = 0; i < n; ++i) {
+        std::printf("  %-52s %14s\n", ranked[i].second->c_str(),
+                    format_count(ranked[i].first).c_str());
+      }
+    };
+    rank("links", "links", {"bytes_sent", "bytes_moved"});
+    rank("sites", "sites", {"sched.bytes_moved"});
+    if (const JsonValue* economics = campaign->get("economics")) {
+      std::printf("\neconomics:\n");
+      for (const auto& [key, value] : economics->object) {
+        std::printf("  %-52s %14s\n", key.c_str(),
+                    format_count(num(&value)).c_str());
+      }
+    }
+    std::printf("\nalerts_total: %s\n",
+                format_count(num(campaign->get("alerts_total"))).c_str());
+  } else {
+    std::printf("\n(no campaign record — stream was not finished)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--validate") {
+      options.validate = true;
+    } else if (arg == "--top" && i + 1 < argc) {
+      options.top = std::atoi(argv[++i]);
+      if (options.top <= 0) return usage();
+    } else if (arg == "--series" && i + 1 < argc) {
+      options.series = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage();
+    } else if (options.path.empty()) {
+      options.path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (options.path.empty()) return usage();
+
+  std::string text;
+  if (!read_all(options.path, text)) {
+    std::fprintf(stderr, "obs_report: cannot read %s\n",
+                 options.path.c_str());
+    return 2;
+  }
+
+  Stream stream;
+  int line = 0;
+  int parse_failures = 0;
+  std::size_t begin = 0;
+  const std::string label = options.path == "-" ? "<stdin>" : options.path;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    const std::string_view raw =
+        std::string_view(text).substr(begin, end == std::string::npos
+                                                 ? std::string::npos
+                                                 : end - begin);
+    begin = end == std::string::npos ? text.size() + 1 : end + 1;
+    ++line;
+    if (raw.empty()) continue;
+    std::string error;
+    auto parsed = gdmp::obs::json_parse(raw, &error);
+    if (parsed == nullptr) {
+      std::printf("%s:%d: [rollup] parse error: %s\n", label.c_str(), line,
+                  error.c_str());
+      ++parse_failures;
+      continue;
+    }
+    stream.records.push_back(std::move(parsed));
+    stream.lines.push_back(line);
+  }
+
+  if (options.validate) {
+    const int status = validate(stream, label);
+    return parse_failures > 0 ? 1 : status;
+  }
+  if (parse_failures > 0) return 1;
+  return summarize(stream, options);
+}
